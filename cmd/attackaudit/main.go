@@ -1,0 +1,120 @@
+// Command attackaudit runs the §6.2 security evaluation in detail: it boots
+// both platform profiles with two co-located tenants, injects each of the 23
+// guest-sourced registry vulnerabilities, and prints the computed blast
+// radius of every attack plus the TCB accounting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xoar"
+	"xoar/internal/seceval"
+)
+
+func main() {
+	profileName := flag.String("profile", "both", "profile to audit: xoar, dom0, or both")
+	dot := flag.Bool("dot", false, "also print the shard dependency graph in Graphviz format")
+	flag.Parse()
+
+	profiles := []xoar.Profile{xoar.XoarShards, xoar.MonolithicDom0}
+	switch *profileName {
+	case "xoar":
+		profiles = profiles[:1]
+	case "dom0":
+		profiles = profiles[1:]
+	case "both":
+	default:
+		fmt.Fprintln(os.Stderr, "attackaudit: unknown profile", *profileName)
+		os.Exit(2)
+	}
+
+	for _, profile := range profiles {
+		pl, err := xoar.New(profile, xoar.Config{Seed: 1})
+		if err != nil {
+			fatal(err)
+		}
+		attacker, err := pl.CreateGuest(xoar.GuestSpec{Name: "attacker", Net: true, Disk: true})
+		if err != nil {
+			fatal(err)
+		}
+		victim, err := pl.CreateGuest(xoar.GuestSpec{Name: "victim", Net: true, Disk: true})
+		if err != nil {
+			fatal(err)
+		}
+
+		fmt.Printf("=== %s ===\n", profile)
+		tcb := pl.TCB()
+		fmt.Printf("%s\n", tcb.String())
+		for _, c := range tcb.Components {
+			fmt.Printf("  trusted component: %s (%s) — %d source LoC\n", c.Name, c.Image, c.SrcLoC)
+		}
+
+		rep := pl.SecurityReport(attacker.Dom)
+		fmt.Printf("\nguest-sourced CVE containment (attacker=%v, co-tenant=%v):\n", attacker.Dom, victim.Dom)
+		for _, f := range rep.Findings {
+			extra := ""
+			if len(f.Reached) > 0 {
+				extra = fmt.Sprintf(" reaches=%v", f.Reached)
+			}
+			fmt.Printf("  %-8s %-18s %-17s -> %-18s%s\n",
+				f.Vuln.ID, f.Vuln.Vector, f.Vuln.Class, f.Outcome, extra)
+		}
+		fmt.Println("\nsummary:")
+		for o, n := range rep.ByOutcome {
+			fmt.Printf("  %-20s %d\n", o, n)
+		}
+
+		// Dynamic capability probes: assume each control component is fully
+		// compromised and actually attempt hostile operations.
+		fmt.Println("\ndynamic capability probes (compromised component -> capabilities actually obtained):")
+		for _, c := range pl.Components() {
+			probe := pl.ProbeCompromise(c.Dom, victim.Dom)
+			got := probe.Obtained()
+			if len(got) == 0 {
+				fmt.Printf("  %-16s clean (nothing beyond its own service)\n", c.Name)
+			} else {
+				fmt.Printf("  %-16s %v\n", c.Name, got)
+			}
+		}
+
+		if *dot && profile == xoar.XoarShards {
+			fmt.Println("\ndependency graph:")
+			fmt.Print(pl.Log.Dot())
+		}
+		fmt.Println()
+		pl.Shutdown()
+	}
+
+	// §7.1: how much of the hypervisor's own surface could leave ring 0.
+	{
+		pl, err := xoar.New(xoar.XoarShards, xoar.Config{Seed: 1})
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := pl.CreateGuest(xoar.GuestSpec{Name: "g", Net: true, Disk: true}); err != nil {
+			fatal(err)
+		}
+		rep := seceval.HVSplit(pl.HV.HypercallCount)
+		fmt.Println("=== hypervisor split (§7.1 future work) ===")
+		fmt.Printf("ring-0 hypercalls: %d; deprivilegeable: %d\n", len(rep.Ring0Calls), len(rep.DeprivilegedCalls))
+		fmt.Printf("observed traffic on a booted platform: ring-0 %d calls, deprivilegeable %d calls\n\n",
+			rep.Ring0Traffic, rep.DeprivilegedTraffic)
+		pl.Shutdown()
+	}
+
+	// Registry overview, independent of profile.
+	fmt.Println("=== vulnerability registry (§2.2.1) ===")
+	bySrc := map[seceval.Source]int{}
+	for _, v := range seceval.Registry() {
+		bySrc[v.Source]++
+	}
+	fmt.Printf("total studied: %d; guest-sourced: %d; admin-network: %d; host-os (excluded): %d\n",
+		len(seceval.Registry()), bySrc[seceval.SrcGuest], bySrc[seceval.SrcAdminNet], bySrc[seceval.SrcHost])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "attackaudit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command xoarbench regenerates the paper's evaluation: every table and
+// figure of §6, printed as paper-vs-measured rows.
+//
+//	xoarbench                  # run everything at full scale
+//	xoarbench -exp fig6.3      # one experiment
+//	xoarbench -scale 0.1       # shrink workloads 10x for a quick pass
+//	xoarbench -markdown        # emit EXPERIMENTS.md-style sections
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xoar/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids: table6.1,table6.2,fig6.1,fig6.2,fig6.3,fig6.4,fig6.5,sec-tcb,sec-attacks,ablations")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = the paper's sizes)")
+	markdown := flag.Bool("markdown", false, "emit markdown instead of text tables")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	s := experiments.Scale(*scale)
+
+	type runner struct {
+		id  string
+		run func() (experiments.Table, error)
+	}
+	runners := []runner{
+		{"table6.1", experiments.MemoryOverhead},
+		{"table6.2", experiments.BootTime},
+		{"fig6.1", func() (experiments.Table, error) { return experiments.Postmark(s) }},
+		{"fig6.2", func() (experiments.Table, error) { return experiments.Wget(s) }},
+		{"fig6.3", func() (experiments.Table, error) {
+			t, _, err := experiments.RestartThroughput(s, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+			return t, err
+		}},
+		{"fig6.4", func() (experiments.Table, error) { return experiments.KernelBuild(s) }},
+		{"fig6.5", func() (experiments.Table, error) { return experiments.Apache(s) }},
+		{"sec-tcb", experiments.TCBSize},
+		{"sec-attacks", experiments.KnownAttacks},
+		{"ablations", experiments.Ablations},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if !all && !want[r.id] {
+			continue
+		}
+		t, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarbench: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Print(experiments.Markdown(t))
+		} else {
+			fmt.Print(experiments.Render(t))
+			fmt.Println()
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "xoarbench: no experiment matches %q\n", *exp)
+		os.Exit(2)
+	}
+}

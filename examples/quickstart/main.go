@@ -1,0 +1,56 @@
+// Quickstart: boot the disaggregated platform, create one guest with a
+// network interface and a disk, download a file through the split network
+// driver onto the virtual disk, and look at what the platform did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xoar"
+)
+
+func main() {
+	// Boot the Xoar profile: Bootstrapper orchestrates XenStore, the
+	// Console Manager, the Builder, PCIBack, the driver domains and a
+	// toolstack, then destroys itself.
+	pl, err := xoar.New(xoar.XoarShards, xoar.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pl.Shutdown()
+	fmt.Printf("platform up in %.1fs of virtual time\n", pl.Boot.Timings.Done.Seconds())
+
+	// Create a guest. The toolstack asks the Builder to construct it, links
+	// it to the NetBack and BlkBack shards, and connects the frontends.
+	g, err := pl.CreateGuest(xoar.GuestSpec{
+		Name:  "quickstart",
+		VCPUs: 2,
+		Net:   true,
+		Disk:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guest %s running as %v\n", g.Name, g.Dom)
+
+	// Download 512MB from the LAN peer straight onto the guest's disk:
+	// wire -> NIC -> NetBack -> I/O ring -> netfront -> blkfront -> BlkBack
+	// -> disk.
+	res, err := g.Fetch(512<<20, xoar.SinkDisk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetched %dMB at %.1f MB/s\n", res.Bytes>>20, res.ThroughputMBps())
+
+	// The guest's console is multiplexed by the Console Manager shard.
+	if err := g.WriteConsole("quickstart: download complete"); err != nil {
+		log.Fatal(err)
+	}
+	pl.Advance(xoar.Second)
+	fmt.Printf("console says: %q\n", g.ConsoleBuffer())
+
+	// Every control-plane action landed in the tamper-evident audit log.
+	fmt.Printf("audit log: %d records, verify=%d (-1 means intact)\n",
+		pl.Log.Len(), pl.Log.Verify())
+}

@@ -1,0 +1,3 @@
+module xoar
+
+go 1.22

@@ -1,0 +1,208 @@
+package blkdrv
+
+import (
+	"errors"
+	"testing"
+
+	"xoar/internal/hv"
+	"xoar/internal/hw"
+	"xoar/internal/sim"
+	"xoar/internal/xenstore"
+	"xoar/internal/xtypes"
+)
+
+type harness struct {
+	env   *sim.Env
+	h     *hv.Hypervisor
+	back  *Backend
+	front *Frontend
+	guest *hv.Domain
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	env := sim.NewEnv(1)
+	machine := hw.NewMachine(env)
+	h := hv.New(env, machine)
+	h.EnforceShardIVC = true
+
+	bb, err := h.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "blkback", MemMB: 128, Shard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Unpause(hv.SystemCaller, bb.ID)
+	guest, _ := h.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "guest", MemMB: 256})
+	h.Unpause(hv.SystemCaller, guest.ID)
+	h.LinkShardClient(hv.SystemCaller, bb.ID, guest.ID)
+
+	logic := xenstore.NewLogic(env, xenstore.NewState())
+	back := NewBackend(h, bb.ID, machine.Disks()[0], logic.Connect(bb.ID, true))
+	front := NewFrontend(h, guest.ID, logic.Connect(guest.ID, true))
+	return &harness{env: env, h: h, back: back, front: front, guest: guest}
+}
+
+func (hn *harness) boot(t *testing.T) {
+	t.Helper()
+	ok := false
+	hn.env.Spawn("boot", func(p *sim.Proc) {
+		hn.back.Start(p)
+		if err := hn.back.CreateImage("guest-disk", 15*1024); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := hn.back.CreateVbd(hn.guest.ID, "guest-disk"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := hn.front.Connect(p, hn.back); err != nil {
+			t.Error(err)
+			return
+		}
+		ok = true
+	})
+	hn.env.RunFor(10 * sim.Second)
+	if !ok {
+		t.Fatal("boot failed")
+	}
+}
+
+func TestImageProxy(t *testing.T) {
+	hn := newHarness(t)
+	hn.boot(t)
+	if err := hn.back.CreateImage("guest-disk", 10); !errors.Is(err, xtypes.ErrExists) {
+		t.Fatalf("duplicate image: %v", err)
+	}
+	// Mounted image cannot be deleted.
+	if err := hn.back.DeleteImage("guest-disk"); !errors.Is(err, xtypes.ErrInUse) {
+		t.Fatalf("delete mounted: %v", err)
+	}
+	hn.back.CreateImage("spare", 10)
+	if err := hn.back.DeleteImage("spare"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hn.back.DeleteImage("spare"); !errors.Is(err, xtypes.ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	hn.env.Shutdown()
+}
+
+func TestVbdRequiresImage(t *testing.T) {
+	hn := newHarness(t)
+	if err := hn.back.CreateVbd(hn.guest.ID, "nope"); !errors.Is(err, xtypes.ErrNotFound) {
+		t.Fatalf("vbd without image: %v", err)
+	}
+	hn.env.Shutdown()
+}
+
+func TestImageSingleMount(t *testing.T) {
+	hn := newHarness(t)
+	hn.boot(t)
+	other, _ := hn.h.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "other", MemMB: 64})
+	hn.h.Unpause(hv.SystemCaller, other.ID)
+	if err := hn.back.CreateVbd(other.ID, "guest-disk"); !errors.Is(err, xtypes.ErrInUse) {
+		t.Fatalf("double mount: %v", err)
+	}
+	hn.env.Shutdown()
+}
+
+func TestSequentialWriteBandwidth(t *testing.T) {
+	hn := newHarness(t)
+	hn.boot(t)
+	const size = 110_000_000 // ~1s at disk bandwidth
+	var elapsed float64
+	hn.env.Spawn("app", func(p *sim.Proc) {
+		t0 := p.Now()
+		if err := hn.front.Write(p, size, true); err != nil {
+			t.Error(err)
+			return
+		}
+		elapsed = p.Now().Sub(t0).Seconds()
+	})
+	hn.env.RunFor(30 * sim.Second)
+	hn.env.Shutdown()
+	tput := float64(size) / elapsed / 1e6
+	// Pipelined segments should reach near raw disk bandwidth.
+	if tput < 95 || tput > 115 {
+		t.Fatalf("throughput = %.1f MB/s", tput)
+	}
+	if hn.front.BytesWritten != size {
+		t.Fatalf("bytes written = %d", hn.front.BytesWritten)
+	}
+}
+
+func TestRandomReadsPaySeeks(t *testing.T) {
+	hn := newHarness(t)
+	hn.boot(t)
+	var elapsed float64
+	const ops = 50
+	hn.env.Spawn("app", func(p *sim.Proc) {
+		t0 := p.Now()
+		for i := 0; i < ops; i++ {
+			if err := hn.front.Read(p, 4096, false); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		elapsed = p.Now().Sub(t0).Seconds()
+	})
+	hn.env.RunFor(30 * sim.Second)
+	hn.env.Shutdown()
+	// 50 random 4K reads at ~8ms seek each ≈ 0.4s.
+	if elapsed < 0.35 || elapsed > 0.6 {
+		t.Fatalf("50 random reads took %.3fs", elapsed)
+	}
+}
+
+func TestRestartBreaksAndRecovers(t *testing.T) {
+	hn := newHarness(t)
+	hn.boot(t)
+	var recovered bool
+	hn.env.Spawn("app", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			if err := hn.front.Write(p, SegmentBytes, true); err != nil {
+				if !hn.front.WaitReconnect(p, 5*sim.Second) {
+					t.Error("reconnect failed")
+					return
+				}
+				recovered = true
+			}
+		}
+	})
+	hn.env.Spawn("restarter", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Millisecond)
+		hn.back.Restart(p, false)
+	})
+	hn.env.RunFor(30 * sim.Second)
+	hn.env.Shutdown()
+	if !recovered {
+		t.Fatal("frontend never saw the restart")
+	}
+	if hn.back.RestartCount != 1 {
+		t.Fatalf("restarts = %d", hn.back.RestartCount)
+	}
+}
+
+func TestFlushBarrier(t *testing.T) {
+	hn := newHarness(t)
+	hn.boot(t)
+	hn.env.Spawn("app", func(p *sim.Proc) {
+		if err := hn.front.Flush(p); err != nil {
+			t.Error(err)
+		}
+	})
+	hn.env.RunFor(5 * sim.Second)
+	hn.env.Shutdown()
+	if hn.back.CompletedReqs != 1 {
+		t.Fatalf("completed = %d", hn.back.CompletedReqs)
+	}
+}
+
+func TestRemoveVbdReleasesImage(t *testing.T) {
+	hn := newHarness(t)
+	hn.boot(t)
+	hn.back.RemoveVbd(hn.guest.ID)
+	if err := hn.back.DeleteImage("guest-disk"); err != nil {
+		t.Fatalf("delete after unmount: %v", err)
+	}
+	hn.env.Shutdown()
+}

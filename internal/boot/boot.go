@@ -1,0 +1,433 @@
+// Package boot assembles and boots the platform in its two profiles:
+//
+//   - BootXoar: the §5.2 sequence. Xen creates the Bootstrapper, which
+//     starts XenStore (State then Logic), the Console Manager, the Builder,
+//     and PCIBack; PCIBack enumerates the bus and udev-style rules request
+//     NetBack/BlkBack driver domains from the Builder for each controller;
+//     finally the Toolstacks come up and the Bootstrapper destroys itself.
+//     Components boot in parallel where the dependency order allows, which
+//     is where the Table 6.2 speedup comes from.
+//
+//   - BootDom0: the stock sequence. Xen creates a single monolithic control
+//     VM that initializes hardware, starts every service in order, and
+//     holds full privilege over the system.
+package boot
+
+import (
+	"fmt"
+
+	"xoar/internal/blkdrv"
+	"xoar/internal/builder"
+	"xoar/internal/consolemgr"
+	"xoar/internal/hv"
+	"xoar/internal/hw"
+	"xoar/internal/netdrv"
+	"xoar/internal/osimage"
+	"xoar/internal/pciback"
+	"xoar/internal/sim"
+	"xoar/internal/snapshot"
+	"xoar/internal/toolstack"
+	"xoar/internal/xenstore"
+	"xoar/internal/xtypes"
+)
+
+// xenBoot is firmware + bootloader + hypervisor bring-up, common to both
+// profiles (power-on to first domain).
+const xenBoot = 8 * sim.Second
+
+// Timings records the boot milestones Table 6.2 reports.
+type Timings struct {
+	// ConsoleReady is when a login prompt appears on the console.
+	ConsoleReady sim.Time
+	// PingReady is when the host answers network traffic.
+	PingReady sim.Time
+	// Done is when the full platform (toolstacks included) is up.
+	Done sim.Time
+}
+
+// Options configure a boot.
+type Options struct {
+	// Toolstacks is the number of management toolstacks (Xoar profile).
+	Toolstacks int
+	// DestroyPCIBack removes PCIBack after boot (§5.3). Ignored by Dom0.
+	DestroyPCIBack bool
+	// KeepBootstrapper suppresses the Bootstrapper's self-destruction, for
+	// tests that inspect it.
+	KeepBootstrapper bool
+	// Serialize disables parallel component boot (Table 6.2 ablation).
+	Serialize bool
+	// NoConsole omits the Console Manager — "in commercial hosting
+	// solutions, console access is largely absent rendering the Console
+	// Manager redundant" (§6.1.1); with DestroyPCIBack this is the paper's
+	// 512MB minimal configuration.
+	NoConsole bool
+}
+
+// Platform is the assembled system, either profile.
+type Platform struct {
+	HV      *hv.Hypervisor
+	Catalog *osimage.Catalog
+
+	XenStoreState *xenstore.State
+	XenStoreLogic *xenstore.Logic
+	Console       *consolemgr.Manager
+	Builder       *builder.Builder
+	PCIBack       *pciback.PCIBack
+	NetBacks      []*netdrv.Backend
+	BlkBacks      []*blkdrv.Backend
+	Toolstacks    []*toolstack.Toolstack
+	Engine        *snapshot.Engine
+
+	// Domain IDs of the control-plane components, for the security graph.
+	BootstrapperDom xtypes.DomID
+	XSStateDom      xtypes.DomID
+	XSLogicDom      xtypes.DomID
+	ConsoleDom      xtypes.DomID
+	BuilderDom      xtypes.DomID
+	PCIBackDom      xtypes.DomID
+	Dom0            xtypes.DomID // monolithic profile only
+
+	// Monolithic reports which profile booted.
+	Monolithic bool
+
+	Timings Timings
+}
+
+// bootShardDirect creates and boots a component domain directly (the
+// Bootstrapper's own privilege path, before the Builder serves).
+func bootShardDirect(p *sim.Proc, h *hv.Hypervisor, caller xtypes.DomID, cat *osimage.Catalog,
+	name, image string, priv hv.Assignment) (xtypes.DomID, error) {
+	img, err := cat.Lookup(image)
+	if err != nil {
+		return xtypes.DomIDNone, err
+	}
+	d, err := h.CreateDomain(caller, hv.DomainConfig{
+		Name: name, MemMB: img.MemMB, Shard: true, OSImage: img.Name,
+	})
+	if err != nil {
+		return xtypes.DomIDNone, err
+	}
+	if err := h.AssignPrivileges(caller, d.ID, priv); err != nil {
+		return xtypes.DomIDNone, err
+	}
+	if err := h.Unpause(caller, d.ID); err != nil {
+		return xtypes.DomIDNone, err
+	}
+	p.Sleep(img.BootTime())
+	return d.ID, nil
+}
+
+// builderPrivileges is the whitelist the Builder needs: it is the single
+// fully-privileged component left after boot (§6.2).
+func builderPrivileges() []xtypes.Hypercall {
+	return []xtypes.Hypercall{
+		xtypes.HyperDomctlCreate, xtypes.HyperDomctlDestroy,
+		xtypes.HyperDomctlPause, xtypes.HyperDomctlUnpause,
+		xtypes.HyperDomctlMaxMem, xtypes.HyperDomctlPriv,
+		xtypes.HyperMapForeign, xtypes.HyperSetParentTool,
+		xtypes.HyperVMRollback, xtypes.HyperSetRestartPolicy,
+		xtypes.HyperDelegateAdmin,
+	}
+}
+
+// BootXoar boots the disaggregated platform. Call from a sim process.
+func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options) (*Platform, error) {
+	if opts.Toolstacks <= 0 {
+		opts.Toolstacks = 1
+	}
+	h.EnforceShardIVC = true
+	pl := &Platform{HV: h, Catalog: cat}
+
+	p.Sleep(xenBoot)
+
+	// Xen creates the Bootstrapper. It is Critical in stock Xen terms, but
+	// Xoar modifies the hypervisor to let it exit (§5.8) — SelfExit encodes
+	// that, so Critical stays false here.
+	bootImg, err := cat.Lookup(osimage.ImgBootstrapper)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := h.CreateDomain(hv.SystemCaller, hv.DomainConfig{
+		Name: "bootstrapper", MemMB: bootImg.MemMB, Shard: true, OSImage: bootImg.Name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := h.AssignPrivileges(hv.SystemCaller, bs.ID, hv.Assignment{
+		Hypercalls: append(builderPrivileges(),
+			xtypes.HyperAssignDevice, xtypes.HyperIOPortAccess,
+			xtypes.HyperSetVIRQ, xtypes.HyperDelegateAdmin),
+	}); err != nil {
+		return nil, err
+	}
+	if err := h.Unpause(hv.SystemCaller, bs.ID); err != nil {
+		return nil, err
+	}
+	pl.BootstrapperDom = bs.ID
+	p.Sleep(bootImg.BootTime())
+
+	// --- XenStore first: everything else depends on it (§5.2). -------------
+	pl.XSStateDom, err = bootShardDirect(p, h, bs.ID, cat, "xenstore-state", osimage.ImgXenStoreS, hv.Assignment{})
+	if err != nil {
+		return nil, err
+	}
+	pl.XSLogicDom, err = bootShardDirect(p, h, bs.ID, cat, "xenstore-logic", osimage.ImgXenStoreL, hv.Assignment{})
+	if err != nil {
+		return nil, err
+	}
+	pl.XenStoreState = xenstore.NewState()
+	pl.XenStoreLogic = xenstore.NewLogic(h.Env, pl.XenStoreState)
+	// Figure 5.1: XenStore-Logic is restarted on each request; contents and
+	// watches live in XenStore-State, so the policy costs nothing.
+	pl.XenStoreLogic.RestartPerRequest = true
+	// xenstored's internal connection, used to hand each directly-booted
+	// shard ownership of its /local/domain/<id> subtree (the Builder does
+	// the same for domains it builds).
+	xsAdmin := pl.XenStoreLogic.Connect(pl.XSLogicDom, true)
+	grantTree := func(dom xtypes.DomID) {
+		base := fmt.Sprintf("/local/domain/%d", dom)
+		xsAdmin.Mkdir(xenstore.TxNone, base)
+		xsAdmin.SetPerms(base, xenstore.Perms{Owner: dom, Read: []xtypes.DomID{xtypes.DomIDNone}})
+	}
+
+	// --- Console Manager: boots in parallel with the rest (it is a Linux
+	// image and dominates the console-ready milestone). ---------------------
+	consoleDone := sim.NewGate(h.Env)
+	if opts.NoConsole {
+		consoleDone.Open()
+	}
+	bootConsole := func(cp *sim.Proc) {
+		dom, cerr := bootShardDirect(cp, h, bs.ID, cat, "console", osimage.ImgConsole, hv.Assignment{
+			IOPorts:    []string{"console"},
+			Hypercalls: []xtypes.Hypercall{xtypes.HyperSetVIRQ},
+		})
+		if cerr != nil {
+			err = cerr
+			consoleDone.Open()
+			return
+		}
+		pl.ConsoleDom = dom
+		grantTree(dom)
+		h.RouteHardwareVIRQ(dom, xtypes.VIRQConsole, dom)
+		pl.Console = consolemgr.New(h, dom, h.Machine.Serial, pl.XenStoreLogic.Connect(dom, false))
+		if cerr := pl.Console.Start(cp); cerr != nil {
+			err = cerr
+			consoleDone.Open()
+			return
+		}
+		pl.Timings.ConsoleReady = cp.Now()
+		consoleDone.Open()
+	}
+	switch {
+	case opts.NoConsole:
+		// No console: the login-prompt milestone coincides with the network.
+	case opts.Serialize:
+		bootConsole(p)
+	default:
+		h.Env.Spawn("boot-console", bootConsole)
+	}
+
+	// --- Builder. -----------------------------------------------------------
+	pl.BuilderDom, err = bootShardDirect(p, h, bs.ID, cat, "builder", osimage.ImgBuilder, hv.Assignment{
+		Hypercalls: append(builderPrivileges(), xtypes.HyperAssignDevice, xtypes.HyperIOPortAccess, xtypes.HyperVMSnapshot),
+	})
+	if err != nil {
+		return nil, err
+	}
+	pl.Builder = builder.New(h, pl.BuilderDom, cat, pl.XenStoreLogic.Connect(pl.BuilderDom, true))
+	pl.Builder.XenStoreDom = pl.XSLogicDom
+	pl.Builder.Authorize(bs.ID)
+	h.Env.Spawn("builder-serve", pl.Builder.Serve)
+	pl.Engine = snapshot.NewEngine(h, pl.BuilderDom)
+
+	// --- PCIBack: hardware init and enumeration. ----------------------------
+	pl.PCIBackDom, err = bootShardDirect(p, h, bs.ID, cat, "pciback", osimage.ImgPCIBack, hv.Assignment{
+		IOPorts: []string{"pci"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	grantTree(pl.PCIBackDom)
+	pl.PCIBack = pciback.New(h, pl.PCIBackDom, h.Machine.Bus, pl.XenStoreLogic.Connect(pl.PCIBackDom, false))
+	if err := pl.PCIBack.Start(p); err != nil {
+		return nil, err
+	}
+
+	// --- udev: a driver domain per network and disk controller (§5.2). ------
+	type backendResult struct {
+		nb  *netdrv.Backend
+		bb  *blkdrv.Backend
+		err error
+	}
+	devs := pl.PCIBack.Devices()
+	results := sim.NewChan[backendResult](h.Env)
+	expected := 0
+	bootBackend := func(dev interface {
+		Addr() xtypes.PCIAddr
+		Class() xtypes.DeviceClass
+	}) func(*sim.Proc) {
+		return func(bp *sim.Proc) {
+			var image, name string
+			switch dev.Class() {
+			case xtypes.DevNIC:
+				image, name = osimage.ImgNetBack, "netback"
+			case xtypes.DevDisk:
+				image, name = osimage.ImgBlkBack, "blkback"
+			default:
+				results.Send(backendResult{})
+				return
+			}
+			dom, berr := pl.Builder.Submit(bp, builder.Request{
+				Requester: bs.ID,
+				Name:      name,
+				Image:     image,
+				Shard:     true,
+				Privileges: hv.Assignment{
+					PCIDevices: []xtypes.PCIAddr{dev.Addr()},
+					Hypercalls: []xtypes.Hypercall{xtypes.HyperVMSnapshot},
+				},
+			})
+			if berr != nil {
+				results.Send(backendResult{err: berr})
+				return
+			}
+			xs := pl.XenStoreLogic.Connect(dom, false)
+			switch dev.Class() {
+			case xtypes.DevNIC:
+				nic, _ := dev.(interface{ Addr() xtypes.PCIAddr })
+				_ = nic
+				b := netdrv.NewBackend(h, dom, findNIC(h, dev.Addr()), xs)
+				b.Start(bp)
+				h.VMSnapshot(dom)
+				results.Send(backendResult{nb: b})
+			case xtypes.DevDisk:
+				b := blkdrv.NewBackend(h, dom, findDisk(h, dev.Addr()), xs)
+				b.Start(bp)
+				h.VMSnapshot(dom)
+				results.Send(backendResult{bb: b})
+			}
+		}
+	}
+	for _, dev := range devs {
+		if dev.Class() != xtypes.DevNIC && dev.Class() != xtypes.DevDisk {
+			continue
+		}
+		expected++
+		if opts.Serialize {
+			bootBackend(dev)(p)
+		} else {
+			h.Env.Spawn("boot-"+dev.Name(), bootBackend(dev))
+		}
+	}
+	for i := 0; i < expected; i++ {
+		res, _ := results.Recv(p)
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.nb != nil {
+			pl.NetBacks = append(pl.NetBacks, res.nb)
+			// The Builder (which hosts the restart engine) administers the
+			// driver shards: it must be able to roll them back.
+			if err := h.Delegate(bs.ID, res.nb.Dom, pl.BuilderDom); err != nil {
+				return nil, err
+			}
+		}
+		if res.bb != nil {
+			pl.BlkBacks = append(pl.BlkBacks, res.bb)
+			if err := h.Delegate(bs.ID, res.bb.Dom, pl.BuilderDom); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pl.Timings.PingReady = p.Now()
+
+	// --- Toolstacks. ----------------------------------------------------------
+	for i := 0; i < opts.Toolstacks; i++ {
+		dom, terr := pl.Builder.Submit(p, builder.Request{
+			Requester: bs.ID,
+			Name:      fmt.Sprintf("toolstack-%d", i),
+			Image:     osimage.ImgToolstack,
+			Shard:     true,
+			Privileges: hv.Assignment{
+				Hypercalls: []xtypes.Hypercall{
+					xtypes.HyperDomctlPause, xtypes.HyperDomctlUnpause,
+					xtypes.HyperDomctlDestroy, xtypes.HyperDomctlMaxMem,
+					xtypes.HyperDelegateAdmin,
+					// Live migration: the toolstack copies guest memory out,
+					// audited against the parent-toolstack flag so it can
+					// only ever touch its own guests.
+					xtypes.HyperMapForeign,
+				},
+			},
+		})
+		if terr != nil {
+			return nil, terr
+		}
+		ts := toolstack.New(h, dom, pl.XenStoreLogic, pl.Builder)
+		ts.Console = pl.Console
+		// Delegate every driver shard to the first toolstack by default;
+		// additional toolstacks receive delegations explicitly (private
+		// cloud scenario, §3.4.2).
+		if i == 0 {
+			for _, nb := range pl.NetBacks {
+				h.Delegate(bs.ID, nb.Dom, dom)
+				ts.NetBacks = append(ts.NetBacks, nb)
+			}
+			for _, bb := range pl.BlkBacks {
+				h.Delegate(bs.ID, bb.Dom, dom)
+				ts.BlkBacks = append(ts.BlkBacks, bb)
+			}
+		}
+		pl.Toolstacks = append(pl.Toolstacks, ts)
+	}
+
+	// Wait for the console before declaring boot complete.
+	consoleDone.Wait(p)
+	if err != nil {
+		return nil, err
+	}
+	if opts.NoConsole {
+		pl.Timings.ConsoleReady = pl.Timings.PingReady
+	}
+	if pl.Timings.PingReady < pl.Timings.ConsoleReady {
+		// The host answers pings only once both the network path and the
+		// console's login services are up.
+		pl.Timings.PingReady = pl.Timings.ConsoleReady
+	}
+
+	// --- Steady state: shrink the TCB (§5.2, §5.3). --------------------------
+	pl.Builder.Revoke(bs.ID)
+	// The Builder itself remains authorized to rebuild shards: in-place
+	// driver upgrades replace a dead driver domain with a fresh one.
+	pl.Builder.Authorize(pl.BuilderDom)
+	if opts.DestroyPCIBack {
+		if err := pl.PCIBack.SelfDestruct(p); err != nil {
+			return nil, err
+		}
+	}
+	if !opts.KeepBootstrapper {
+		if err := h.SelfExit(bs.ID); err != nil {
+			return nil, err
+		}
+	}
+	pl.Timings.Done = p.Now()
+	return pl, nil
+}
+
+func findNIC(h *hv.Hypervisor, addr xtypes.PCIAddr) *hw.NIC {
+	for _, n := range h.Machine.NICs() {
+		if n.Addr() == addr {
+			return n
+		}
+	}
+	return nil
+}
+
+func findDisk(h *hv.Hypervisor, addr xtypes.PCIAddr) *hw.Disk {
+	for _, d := range h.Machine.Disks() {
+		if d.Addr() == addr {
+			return d
+		}
+	}
+	return nil
+}

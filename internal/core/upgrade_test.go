@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"xoar/internal/guest"
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+func TestInPlaceDriverUpgrade(t *testing.T) {
+	pl, err := New(XoarShards, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	g, err := pl.CreateGuest(GuestSpec{Name: "app", VCPUs: 2, Net: true, Disk: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic works on the old driver.
+	if res, err := g.Fetch(16<<20, guest.SinkNull); err != nil || res.ThroughputMBps() < 50 {
+		t.Fatalf("pre-upgrade fetch: %v %v", res, err)
+	}
+
+	oldDom := pl.Boot.NetBacks[0].Dom
+	newDom, err := pl.UpgradeNetBack(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newDom == oldDom {
+		t.Fatal("upgrade reused the old domain")
+	}
+	// The old shard is gone; the host and every guest survived.
+	if _, err := pl.HV.Domain(oldDom); !errors.Is(err, xtypes.ErrNoDomain) {
+		t.Fatal("old netback survived")
+	}
+	if pl.HV.CrashedHost {
+		t.Fatal("upgrade crashed the host")
+	}
+	if _, err := pl.HV.Domain(g.Dom); err != nil {
+		t.Fatal("guest harmed by driver upgrade")
+	}
+	// The NIC moved to the new shard.
+	if got := pl.HV.Machine.Bus.AssignedTo(pl.Boot.NetBacks[0].NIC.Addr()); got != newDom {
+		t.Fatalf("NIC assigned to %v, want %v", got, newDom)
+	}
+	// Traffic flows through the new driver.
+	res, err := g.Fetch(32<<20, guest.SinkNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputMBps() < 50 {
+		t.Fatalf("post-upgrade fetch = %.1f MB/s", res.ThroughputMBps())
+	}
+	// The audit log recorded the whole swap for later forensics.
+	if got := pl.Log.KindCount("destroy"); got < 1 {
+		t.Fatal("upgrade not audited")
+	}
+	// The new shard can immediately go under a microreboot policy.
+	if err := pl.SetNetBackRestartPolicy(RestartPolicy{Interval: sim.Second}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment boots a fresh platform (or two, when the
+// figure compares profiles), drives the workload, and returns structured
+// rows carrying both the measured value and the paper's published value so
+// callers — cmd/xoarbench, the root benchmarks, and EXPERIMENTS.md — can
+// print paper-vs-measured comparisons.
+package experiments
+
+import (
+	"fmt"
+
+	"xoar/internal/boot"
+	"xoar/internal/guest"
+	"xoar/internal/hv"
+	"xoar/internal/hw"
+	"xoar/internal/osimage"
+	"xoar/internal/sim"
+	"xoar/internal/toolstack"
+)
+
+// Profile selects the platform under test.
+type Profile uint8
+
+const (
+	// Dom0 is the stock monolithic platform.
+	Dom0 Profile = iota
+	// Xoar is the disaggregated platform.
+	Xoar
+)
+
+func (p Profile) String() string {
+	if p == Dom0 {
+		return "dom0"
+	}
+	return "xoar"
+}
+
+// Row is one measured cell of a table or figure, with the paper's value
+// when the paper publishes one (Paper == 0 means "not published").
+type Row struct {
+	Label    string
+	Measured float64
+	Paper    float64
+	Unit     string
+}
+
+// Table is one regenerated table or figure.
+type Table struct {
+	ID    string // "table6.1", "fig6.3", ...
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// Rig is a booted platform plus its simulation environment.
+type Rig struct {
+	Env *sim.Env
+	HV  *hv.Hypervisor
+	PL  *boot.Platform
+}
+
+// BootRig boots a profile on a fresh machine.
+func BootRig(profile Profile, seed int64) (*Rig, error) {
+	env := sim.NewEnv(seed)
+	h := hv.New(env, hw.NewMachine(env))
+	var pl *boot.Platform
+	var err error
+	done := false
+	env.Spawn("boot", func(p *sim.Proc) {
+		if profile == Dom0 {
+			pl, err = boot.BootDom0(p, h, osimage.DefaultCatalog(), boot.Options{})
+		} else {
+			pl, err = boot.BootXoar(p, h, osimage.DefaultCatalog(), boot.Options{})
+		}
+		done = true
+	})
+	env.RunFor(200 * sim.Second)
+	if err != nil {
+		return nil, err
+	}
+	if !done {
+		return nil, fmt.Errorf("experiments: boot did not complete")
+	}
+	return &Rig{Env: env, HV: h, PL: pl}, nil
+}
+
+// Close tears the rig down, reaping its processes.
+func (r *Rig) Close() { r.Env.Shutdown() }
+
+// NewGuest creates a standard benchmark guest: 2 vCPUs, 1GB, net + 15GB disk
+// (the §6.1 guest configuration).
+func (r *Rig) NewGuest(name string) (*guest.VM, error) {
+	var vm *guest.VM
+	var err error
+	done := false
+	r.Env.Spawn("mkguest", func(p *sim.Proc) {
+		var g *toolstack.Guest
+		g, err = r.PL.Toolstacks[0].CreateVM(p, toolstack.GuestConfig{
+			Name: name, Image: osimage.ImgGuestPV, MemMB: 1024, VCPUs: 2,
+			Net: true, Disk: true, DiskMB: 15 * 1024,
+		})
+		if err == nil {
+			vm = &guest.VM{H: r.HV, Dom: g.Dom, Net: g.Net, Blk: g.Blk, NetB: g.NetB, BlkB: g.BlkB}
+		}
+		done = true
+	})
+	r.Env.RunFor(60 * sim.Second)
+	if err != nil {
+		return nil, err
+	}
+	if !done {
+		return nil, fmt.Errorf("experiments: guest creation did not complete")
+	}
+	return vm, nil
+}
+
+// Go runs fn in a sim process and advances virtual time until it finishes
+// (bounded by limit to keep broken models from spinning forever).
+func (r *Rig) Go(limit sim.Duration, fn func(p *sim.Proc)) error {
+	done := false
+	r.Env.Spawn("exp", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	deadline := r.Env.Now().Add(limit)
+	for !done && r.Env.Now() < deadline {
+		r.Env.RunFor(10 * sim.Second)
+	}
+	if !done {
+		return fmt.Errorf("experiments: workload did not complete within %v", limit)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render prints a table in the paper-vs-measured format used by
+// cmd/xoarbench and EXPERIMENTS.md.
+func Render(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	width := 0
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-*s  %10s %-6s", width, r.Label, fmtVal(r.Measured), r.Unit)
+		if r.Paper != 0 {
+			fmt.Fprintf(&b, "  (paper: %s)", fmtVal(r.Paper))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown section, used to
+// regenerate EXPERIMENTS.md.
+func Markdown(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| Metric | Measured | Paper |\n|---|---|---|\n")
+	for _, r := range t.Rows {
+		paper := "—"
+		if r.Paper != 0 {
+			paper = fmtVal(r.Paper) + " " + r.Unit
+		}
+		fmt.Fprintf(&b, "| %s | %s %s | %s |\n", r.Label, fmtVal(r.Measured), r.Unit, paper)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

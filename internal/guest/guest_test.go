@@ -1,0 +1,167 @@
+package guest
+
+import (
+	"testing"
+
+	"xoar/internal/boot"
+	"xoar/internal/hv"
+	"xoar/internal/hw"
+	"xoar/internal/osimage"
+	"xoar/internal/sim"
+	"xoar/internal/snapshot"
+	"xoar/internal/toolstack"
+)
+
+// platform boots Xoar and creates one PV guest with net+disk.
+func platform(t *testing.T) (*sim.Env, *boot.Platform, *VM) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	h := hv.New(env, hw.NewMachine(env))
+	var pl *boot.Platform
+	var vm *VM
+	var err error
+	env.Spawn("setup", func(p *sim.Proc) {
+		pl, err = boot.BootXoar(p, h, osimage.DefaultCatalog(), boot.Options{})
+		if err != nil {
+			return
+		}
+		var g *toolstack.Guest
+		g, err = pl.Toolstacks[0].CreateVM(p, toolstack.GuestConfig{
+			Name: "guest", Image: osimage.ImgGuestPV, VCPUs: 2, Net: true, Disk: true,
+		})
+		if err != nil {
+			return
+		}
+		vm = &VM{H: h, Dom: g.Dom, Net: g.Net, Blk: g.Blk, NetB: g.NetB, BlkB: g.BlkB}
+	})
+	env.RunFor(200 * sim.Second)
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	if vm == nil {
+		t.Fatal("setup incomplete")
+	}
+	return env, pl, vm
+}
+
+func TestFetchToNullNearLineRate(t *testing.T) {
+	env, _, vm := platform(t)
+	var res FetchResult
+	env.Spawn("wget", func(p *sim.Proc) {
+		res = vm.Fetch(p, 512<<20, SinkNull)
+	})
+	env.RunFor(60 * sim.Second)
+	env.Shutdown()
+	if res.Bytes < 512<<20 {
+		t.Fatalf("fetched %d", res.Bytes)
+	}
+	if got := res.ThroughputMBps(); got < 105 || got > 120 {
+		t.Fatalf("throughput = %.1f MB/s", got)
+	}
+	if res.Stalls != 0 {
+		t.Fatalf("stalls on idle platform: %d", res.Stalls)
+	}
+}
+
+func TestFetchToDiskBoundByDisk(t *testing.T) {
+	env, _, vm := platform(t)
+	var res FetchResult
+	env.Spawn("wget", func(p *sim.Proc) {
+		res = vm.Fetch(p, 256<<20, SinkDisk)
+	})
+	env.RunFor(60 * sim.Second)
+	env.Shutdown()
+	got := res.ThroughputMBps()
+	// The 110MB/s disk is the bottleneck; allow pipeline slack.
+	if got < 85 || got > 112 {
+		t.Fatalf("to-disk throughput = %.1f MB/s", got)
+	}
+}
+
+func TestFetchAcrossRestartsLosesThroughput(t *testing.T) {
+	env, pl, vm := platform(t)
+	nb := pl.NetBacks[0]
+	eng := snapshot.NewEngine(pl.HV, hv.SystemCaller)
+	if err := eng.Manage(nb.AsRestartable(), snapshot.Policy{Kind: snapshot.PolicyTimer, Interval: sim.Second}); err != nil {
+		t.Fatal(err)
+	}
+	var res FetchResult
+	env.Spawn("wget", func(p *sim.Proc) {
+		res = vm.Fetch(p, 512<<20, SinkNull)
+	})
+	env.RunFor(300 * sim.Second)
+	env.Shutdown()
+	if res.Bytes < 512<<20 {
+		t.Fatalf("transfer did not complete: %d bytes", res.Bytes)
+	}
+	got := res.ThroughputMBps()
+	// Figure 6.3: 1s restarts cost over half the throughput.
+	if got > 70 {
+		t.Fatalf("throughput with 1s restarts = %.1f MB/s, expected heavy loss", got)
+	}
+	if res.Stalls == 0 || res.Retransmits == 0 {
+		t.Fatalf("no TCP recovery observed: %+v", res)
+	}
+}
+
+func TestHTTPBenchBaseline(t *testing.T) {
+	env, _, vm := platform(t)
+	var res HTTPBenchResult
+	env.Spawn("ab", func(p *sim.Proc) {
+		srv := vm.StartHTTPServer(11 * 1024)
+		defer srv.Stop()
+		res = vm.RunHTTPBench(p, 5000, 5, 11*1024)
+	})
+	env.RunFor(120 * sim.Second)
+	env.Shutdown()
+	rps := res.RequestsPerSecond()
+	if rps < 2500 || rps > 4200 {
+		t.Fatalf("req/s = %.0f", rps)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	// No restarts: worst request under ~20ms.
+	if res.MaxLatency > 20*sim.Millisecond {
+		t.Fatalf("max latency = %v", res.MaxLatency)
+	}
+}
+
+func TestHTTPBenchWithRestartsShowsTails(t *testing.T) {
+	env, pl, vm := platform(t)
+	eng := snapshot.NewEngine(pl.HV, hv.SystemCaller)
+	eng.Manage(pl.NetBacks[0].AsRestartable(), snapshot.Policy{Kind: snapshot.PolicyTimer, Interval: 2 * sim.Second})
+	var res HTTPBenchResult
+	env.Spawn("ab", func(p *sim.Proc) {
+		srv := vm.StartHTTPServer(11 * 1024)
+		defer srv.Stop()
+		res = vm.RunHTTPBench(p, 15000, 5, 11*1024)
+	})
+	env.RunFor(300 * sim.Second)
+	env.Shutdown()
+	if res.MaxLatency < 500*sim.Millisecond {
+		t.Fatalf("max latency = %v, expected an RTO-driven outlier", res.MaxLatency)
+	}
+	if res.RequestsPerSecond() > 3200 {
+		t.Fatalf("restarts did not reduce throughput: %.0f req/s", res.RequestsPerSecond())
+	}
+}
+
+func TestNetRPC(t *testing.T) {
+	env, _, vm := platform(t)
+	var ok bool
+	var elapsed sim.Duration
+	env.Spawn("rpc", func(p *sim.Proc) {
+		t0 := p.Now()
+		ok = vm.NetRPC(p, 256, 8192, 250*sim.Microsecond)
+		elapsed = p.Now().Sub(t0)
+	})
+	env.RunFor(10 * sim.Second)
+	env.Shutdown()
+	if !ok {
+		t.Fatal("rpc failed on idle platform")
+	}
+	if elapsed < 250*sim.Microsecond || elapsed > 5*sim.Millisecond {
+		t.Fatalf("rpc latency = %v", elapsed)
+	}
+}

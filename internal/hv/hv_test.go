@@ -1,0 +1,615 @@
+package hv
+
+import (
+	"errors"
+	"testing"
+
+	"xoar/internal/hw"
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+// newHV builds a hypervisor with Xoar IVC enforcement on.
+func newHV(enforce bool) (*sim.Env, *Hypervisor) {
+	env := sim.NewEnv(1)
+	h := New(env, hw.NewMachine(env))
+	h.EnforceShardIVC = enforce
+	return env, h
+}
+
+// mkDom creates and unpauses a domain as SystemCaller.
+func mkDom(t *testing.T, h *Hypervisor, name string, shard bool) *Domain {
+	t.Helper()
+	d, err := h.CreateDomain(SystemCaller, DomainConfig{Name: name, MemMB: 64, Shard: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Unpause(SystemCaller, d.ID); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCreateAssignsSequentialIDs(t *testing.T) {
+	_, h := newHV(true)
+	a := mkDom(t, h, "a", true)
+	b := mkDom(t, h, "b", false)
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("ids = %v %v", a.ID, b.ID)
+	}
+	if len(h.Domains()) != 2 {
+		t.Fatalf("domains = %d", len(h.Domains()))
+	}
+}
+
+func TestHypercallWhitelist(t *testing.T) {
+	_, h := newHV(true)
+	builder := mkDom(t, h, "builder", true)
+	guest := mkDom(t, h, "guest", false)
+
+	// Unprivileged caller cannot create domains.
+	if _, err := h.CreateDomain(guest.ID, DomainConfig{Name: "x", MemMB: 16}); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("create by guest: %v", err)
+	}
+
+	// Whitelist the builder for domain creation.
+	err := h.AssignPrivileges(SystemCaller, builder.ID, Assignment{
+		Hypercalls: []xtypes.Hypercall{xtypes.HyperDomctlCreate, xtypes.HyperDomctlUnpause},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateDomain(builder.ID, DomainConfig{Name: "x", MemMB: 16}); err != nil {
+		t.Fatalf("create by whitelisted builder: %v", err)
+	}
+	// But not destroy: not whitelisted.
+	if err := h.DestroyDomain(builder.ID, guest.ID, "test"); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("destroy without whitelist: %v", err)
+	}
+	if h.DeniedCalls == 0 {
+		t.Fatal("denied calls not counted")
+	}
+}
+
+func TestPrivilegesOnlyForShards(t *testing.T) {
+	_, h := newHV(true)
+	guest := mkDom(t, h, "guest", false)
+	err := h.AssignPrivileges(SystemCaller, guest.ID, Assignment{
+		Hypercalls: []xtypes.Hypercall{xtypes.HyperDomctlCreate},
+	})
+	if !errors.Is(err, xtypes.ErrNotShard) {
+		t.Fatalf("privileges for non-shard: %v", err)
+	}
+}
+
+func TestParentToolstackControls(t *testing.T) {
+	_, h := newHV(true)
+	tool := mkDom(t, h, "toolstack", true)
+	other := mkDom(t, h, "other-tool", true)
+	for _, d := range []*Domain{tool, other} {
+		err := h.AssignPrivileges(SystemCaller, d.ID, Assignment{
+			Hypercalls: []xtypes.Hypercall{
+				xtypes.HyperDomctlCreate, xtypes.HyperDomctlDestroy,
+				xtypes.HyperDomctlPause, xtypes.HyperDomctlUnpause,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	guest, err := h.CreateDomain(tool.ID, DomainConfig{Name: "guest", MemMB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guest.ParentTool() != tool.ID {
+		t.Fatalf("parent = %v", guest.ParentTool())
+	}
+	// The parent can manage its guest.
+	if err := h.Unpause(tool.ID, guest.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Pause(tool.ID, guest.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Another toolstack, although whitelisted for the hypercalls, is blocked
+	// by the parent-toolstack audit (§5.6).
+	if err := h.Pause(other.ID, guest.ID); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("foreign toolstack pause: %v", err)
+	}
+	if err := h.DestroyDomain(other.ID, guest.ID, "attack"); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("foreign toolstack destroy: %v", err)
+	}
+	if err := h.DestroyDomain(tool.ID, guest.ID, "done"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelegation(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "netback", true)
+	user := mkDom(t, h, "user-tool", true)
+	// Assign delegation via the config-block API.
+	if err := h.AssignPrivileges(SystemCaller, shard.ID, Assignment{DelegateTo: []xtypes.DomID{user.ID}}); err != nil {
+		t.Fatal(err)
+	}
+	// The delegate now controls the shard: e.g. pause it (whitelist the call).
+	if err := h.AssignPrivileges(SystemCaller, user.ID, Assignment{Hypercalls: []xtypes.Hypercall{xtypes.HyperDomctlPause}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Pause(user.ID, shard.ID); err != nil {
+		t.Fatalf("delegated pause: %v", err)
+	}
+}
+
+func TestShardIVCPolicy(t *testing.T) {
+	_, h := newHV(true)
+	netback := mkDom(t, h, "netback", true)
+	guestA := mkDom(t, h, "guestA", false)
+	guestB := mkDom(t, h, "guestB", false)
+
+	// Guest A is not yet linked: IVC setup fails both directions.
+	if _, err := h.Grant(guestA.ID, netback.ID, 0, false); !errors.Is(err, xtypes.ErrNotDelegated) {
+		t.Fatalf("grant before link: %v", err)
+	}
+	if _, err := h.EvtchnAllocUnbound(netback.ID, guestA.ID); !errors.Is(err, xtypes.ErrNotDelegated) {
+		t.Fatalf("evtchn before link: %v", err)
+	}
+
+	// Two plain guests can never set up IVC directly.
+	if _, err := h.Grant(guestA.ID, guestB.ID, 0, false); !errors.Is(err, xtypes.ErrNotShard) {
+		t.Fatalf("guest-guest grant: %v", err)
+	}
+
+	// Link guest A to the shard (SystemCaller stands in for its toolstack).
+	if err := h.LinkShardClient(SystemCaller, netback.ID, guestA.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Grant(guestA.ID, netback.ID, 0, false); err != nil {
+		t.Fatalf("grant after link: %v", err)
+	}
+	// Guest B is still blocked.
+	if _, err := h.Grant(guestB.ID, netback.ID, 0, false); !errors.Is(err, xtypes.ErrNotDelegated) {
+		t.Fatalf("unlinked guest grant: %v", err)
+	}
+	// Shard-to-shard IVC is always allowed.
+	xs := mkDom(t, h, "xenstore", true)
+	if _, err := h.Grant(netback.ID, xs.ID, 1, false); err != nil {
+		t.Fatalf("shard-shard grant: %v", err)
+	}
+}
+
+func TestIVCUnrestrictedInMonolithicProfile(t *testing.T) {
+	_, h := newHV(false)
+	a := mkDom(t, h, "a", false)
+	b := mkDom(t, h, "b", false)
+	if _, err := h.Grant(a.ID, b.ID, 0, false); err != nil {
+		t.Fatalf("grant in stock profile: %v", err)
+	}
+}
+
+func TestMapGrantTracksMemory(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "blkback", true)
+	guest := mkDom(t, h, "guest", false)
+	h.LinkShardClient(SystemCaller, shard.ID, guest.ID)
+	ref, err := h.Grant(guest.ID, shard.ID, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.MapGrant(shard.ID, guest.ID, ref, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := h.MM.ForeignMapCount(shard.ID, guest.ID); n != 1 {
+		t.Fatalf("map count = %d", n)
+	}
+	m.Unmap()
+	m.Unmap() // idempotent
+	if n := h.MM.ForeignMapCount(shard.ID, guest.ID); n != 0 {
+		t.Fatalf("map count after unmap = %d", n)
+	}
+}
+
+func TestMapForeignRequiresControl(t *testing.T) {
+	_, h := newHV(true)
+	qemu := mkDom(t, h, "qemu", true)
+	guest := mkDom(t, h, "guest", false)
+	victim := mkDom(t, h, "victim", false)
+	h.AssignPrivileges(SystemCaller, qemu.ID, Assignment{Hypercalls: []xtypes.Hypercall{xtypes.HyperMapForeign}})
+
+	// Without privileged-for, even a whitelisted mapper is rejected.
+	if err := h.MapForeign(qemu.ID, guest.ID, 0); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("map without control: %v", err)
+	}
+	h.SetPrivilegedFor(SystemCaller, qemu.ID, guest.ID)
+	if err := h.MapForeign(qemu.ID, guest.ID, 0); err != nil {
+		t.Fatalf("map with privileged-for: %v", err)
+	}
+	// The QemuVM has rights over exactly one guest: the victim is off-limits.
+	// This is the §6.2.1 device-emulation containment property.
+	if err := h.MapForeign(qemu.ID, victim.ID, 0); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("map of foreign victim: %v", err)
+	}
+}
+
+func TestCriticalDomainCrashesHost(t *testing.T) {
+	_, h := newHV(false)
+	dom0, _ := h.CreateDomain(SystemCaller, DomainConfig{Name: "dom0", MemMB: 64, Critical: true})
+	h.Unpause(SystemCaller, dom0.ID)
+	h.DestroyDomain(SystemCaller, dom0.ID, "oops")
+	if !h.CrashedHost {
+		t.Fatal("critical domain death did not crash the host")
+	}
+}
+
+func TestSelfExitIsNotACrash(t *testing.T) {
+	_, h := newHV(true)
+	boot, _ := h.CreateDomain(SystemCaller, DomainConfig{Name: "bootstrapper", MemMB: 16, Shard: true, Critical: true})
+	h.Unpause(SystemCaller, boot.ID)
+	if err := h.SelfExit(boot.ID); err != nil {
+		t.Fatal(err)
+	}
+	if h.CrashedHost {
+		t.Fatal("voluntary exit crashed the host")
+	}
+	if _, err := h.Domain(boot.ID); !errors.Is(err, xtypes.ErrNoDomain) {
+		t.Fatal("domain survived self-exit")
+	}
+}
+
+func TestDestroyCleansIVCState(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "netback", true)
+	guest := mkDom(t, h, "guest", false)
+	h.LinkShardClient(SystemCaller, shard.ID, guest.ID)
+	ref, _ := h.Grant(guest.ID, shard.ID, 0, false)
+	m, _ := h.MapGrant(shard.ID, guest.ID, ref, false)
+	_ = m
+	hooks := 0
+	h.OnDestroy(func(id xtypes.DomID) { hooks++ })
+	if err := h.DestroyDomain(SystemCaller, guest.ID, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if hooks != 1 {
+		t.Fatal("destroy hook did not run")
+	}
+	// Shard's grants table access to the dead domain now fails.
+	if _, err := h.Grants.Map(shard.ID, guest.ID, ref, false); !errors.Is(err, xtypes.ErrNoDomain) {
+		t.Fatalf("grant map after destroy: %v", err)
+	}
+}
+
+func TestSnapshotRollbackHypercalls(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "netback", true)
+	guest := mkDom(t, h, "guest", false)
+	h.AssignPrivileges(SystemCaller, shard.ID, Assignment{
+		Hypercalls: []xtypes.Hypercall{xtypes.HyperVMSnapshot},
+	})
+	shard.Mem.Write(0, []byte("init"))
+	if err := h.VMSnapshot(shard.ID); err != nil {
+		t.Fatal(err)
+	}
+	shard.Mem.Write(0, []byte("dirty"))
+
+	// A random guest cannot roll the shard back.
+	if _, err := h.VMRollback(guest.ID, shard.ID); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("rollback by guest: %v", err)
+	}
+	// SystemCaller (standing in for the restart engine) can.
+	restored, err := h.VMRollback(SystemCaller, shard.ID)
+	if err != nil || restored != 1 {
+		t.Fatalf("rollback: %d, %v", restored, err)
+	}
+	data, _ := shard.Mem.Read(0)
+	if string(data) != "init" {
+		t.Fatalf("memory after rollback: %q", data)
+	}
+	// Snapshot requires the whitelist: the guest lacks it.
+	if err := h.VMSnapshot(guest.ID); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("snapshot by guest: %v", err)
+	}
+}
+
+func TestRecoveryBoxViaHypercall(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "netback", true)
+	h.AssignPrivileges(SystemCaller, shard.ID, Assignment{Hypercalls: []xtypes.Hypercall{xtypes.HyperVMSnapshot}})
+	if err := h.RegisterRecoveryBox(shard.ID, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	h.VMSnapshot(shard.ID)
+	shard.Mem.Write(100, []byte("persisted config"))
+	shard.Mem.Write(0, []byte("scratch"))
+	h.VMRollback(SystemCaller, shard.ID)
+	data, _ := shard.Mem.Read(100)
+	if string(data) != "persisted config" {
+		t.Fatalf("recovery box lost: %q", data)
+	}
+}
+
+func TestVIRQRouting(t *testing.T) {
+	env, h := newHV(true)
+	console := mkDom(t, h, "console", true)
+	h.AssignPrivileges(SystemCaller, console.ID, Assignment{Hypercalls: []xtypes.Hypercall{xtypes.HyperSetVIRQ}})
+	if err := h.RouteHardwareVIRQ(console.ID, xtypes.VIRQConsole, console.ID); err != nil {
+		t.Fatal(err)
+	}
+	port, _ := h.Evtchn.BindVIRQ(console.ID, xtypes.VIRQConsole)
+	got := 0
+	h.Evtchn.SetHandler(console.ID, port, func() { got++ })
+	env.Spawn("irq", func(p *sim.Proc) {
+		h.InjectHardwareVIRQ(xtypes.VIRQConsole)
+	})
+	env.RunAll()
+	if got != 1 {
+		t.Fatalf("virq deliveries = %d", got)
+	}
+}
+
+func TestIOPortGrants(t *testing.T) {
+	_, h := newHV(true)
+	pciback := mkDom(t, h, "pciback", true)
+	if h.HasIOPorts(pciback.ID, "pci") {
+		t.Fatal("ports granted by default")
+	}
+	if err := h.GrantIOPorts(SystemCaller, pciback.ID, "pci"); err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasIOPorts(pciback.ID, "pci") {
+		t.Fatal("port grant lost")
+	}
+}
+
+func TestComputeContention(t *testing.T) {
+	env, h := newHV(false)
+	// A domain with one vCPU serializes its own work even on an idle machine.
+	d := mkDom(t, h, "uni", false)
+	var aDone, bDone sim.Time
+	env.Spawn("a", func(p *sim.Proc) {
+		h.Compute(p, d.ID, 10*sim.Millisecond)
+		aDone = p.Now()
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		h.Compute(p, d.ID, 10*sim.Millisecond)
+		bDone = p.Now()
+	})
+	env.RunAll()
+	last := aDone
+	if bDone > last {
+		last = bDone
+	}
+	if last < sim.Time(20*sim.Millisecond) {
+		t.Fatalf("single-vCPU domain did 20ms of work in %v", sim.Duration(last))
+	}
+}
+
+func TestComputeParallelAcrossDomains(t *testing.T) {
+	env, h := newHV(false)
+	a := mkDom(t, h, "a", false)
+	b := mkDom(t, h, "b", false)
+	var done []sim.Time
+	for _, d := range []*Domain{a, b} {
+		id := d.ID
+		env.Spawn("w", func(p *sim.Proc) {
+			h.Compute(p, id, 10*sim.Millisecond)
+			done = append(done, p.Now())
+		})
+	}
+	env.RunAll()
+	// Two domains, four cores: both finish in ~10ms.
+	for _, d := range done {
+		if d > sim.Time(12*sim.Millisecond) {
+			t.Fatalf("parallel compute finished at %v", sim.Duration(d))
+		}
+	}
+}
+
+func TestDeviceAssignmentViaPrivileges(t *testing.T) {
+	_, h := newHV(true)
+	netback := mkDom(t, h, "netback", true)
+	nicAddr := h.Machine.NICs()[0].Addr()
+	err := h.AssignPrivileges(SystemCaller, netback.ID, Assignment{PCIDevices: []xtypes.PCIAddr{nicAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Machine.Bus.AssignedTo(nicAddr) != netback.ID {
+		t.Fatal("device not assigned")
+	}
+	// Second shard cannot take the same NIC.
+	blk := mkDom(t, h, "blkback", true)
+	err = h.AssignPrivileges(SystemCaller, blk.ID, Assignment{PCIDevices: []xtypes.PCIAddr{nicAddr}})
+	if !errors.Is(err, xtypes.ErrInUse) {
+		t.Fatalf("double device assign: %v", err)
+	}
+}
+
+func TestEventSink(t *testing.T) {
+	_, h := newHV(true)
+	var kinds []string
+	h.Sink = func(e Event) { kinds = append(kinds, e.Kind) }
+	d := mkDom(t, h, "a", true)
+	h.DestroyDomain(SystemCaller, d.ID, "done")
+	want := []string{"create", "unpause", "destroy"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v", kinds)
+		}
+	}
+}
+
+func TestBalloonOwnReservation(t *testing.T) {
+	_, h := newHV(false)
+	d := mkDom(t, h, "guest", false)
+	freeBefore := h.MM.FreeMB()
+	// Shrink: returns memory to the free pool.
+	if err := h.BalloonTo(d.ID, 32); err != nil {
+		t.Fatal(err)
+	}
+	if h.MM.FreeMB() != freeBefore+32 {
+		t.Fatalf("free = %d, want %d", h.MM.FreeMB(), freeBefore+32)
+	}
+	// Grow back within available memory.
+	if err := h.BalloonTo(d.ID, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Growing beyond machine memory fails cleanly.
+	if err := h.BalloonTo(d.ID, 1<<20); !errors.Is(err, xtypes.ErrNoMem) {
+		t.Fatalf("overgrow: %v", err)
+	}
+	if err := h.BalloonTo(d.ID, 0); !errors.Is(err, xtypes.ErrInvalid) {
+		t.Fatalf("balloon to zero: %v", err)
+	}
+}
+
+func TestSetMaxMemPaths(t *testing.T) {
+	_, h := newHV(true)
+	tool := mkDom(t, h, "tool", true)
+	h.AssignPrivileges(SystemCaller, tool.ID, Assignment{Hypercalls: []xtypes.Hypercall{
+		xtypes.HyperDomctlCreate, xtypes.HyperDomctlMaxMem, xtypes.HyperDomctlUnpause,
+	}})
+	guest, _ := h.CreateDomain(tool.ID, DomainConfig{Name: "g", MemMB: 64})
+	h.Unpause(tool.ID, guest.ID)
+	if err := h.SetMaxMem(tool.ID, guest.ID, 128); err != nil {
+		t.Fatal(err)
+	}
+	if guest.Mem.MaxMB() != 128 {
+		t.Fatalf("max = %d", guest.Mem.MaxMB())
+	}
+	// A foreign toolstack is refused.
+	other := mkDom(t, h, "other", true)
+	h.AssignPrivileges(SystemCaller, other.ID, Assignment{Hypercalls: []xtypes.Hypercall{xtypes.HyperDomctlMaxMem}})
+	if err := h.SetMaxMem(other.ID, guest.ID, 256); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("foreign setmaxmem: %v", err)
+	}
+	// Missing target.
+	if err := h.SetMaxMem(tool.ID, 999, 64); !errors.Is(err, xtypes.ErrNoDomain) {
+		t.Fatalf("setmaxmem on ghost: %v", err)
+	}
+}
+
+func TestEvtchnNotifyWrapper(t *testing.T) {
+	env, h := newHV(true)
+	shard := mkDom(t, h, "s", true)
+	guest := mkDom(t, h, "g", false)
+	h.LinkShardClient(SystemCaller, shard.ID, guest.ID)
+	up, err := h.EvtchnAllocUnbound(guest.ID, shard.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := h.EvtchnBind(shard.ID, guest.ID, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	h.Evtchn.SetHandler(guest.ID, up, func() { delivered = true })
+	env.Spawn("n", func(p *sim.Proc) {
+		if err := h.EvtchnNotify(shard.ID, sp); err != nil {
+			t.Error(err)
+		}
+	})
+	env.RunAll()
+	if !delivered {
+		t.Fatal("notify did not deliver")
+	}
+}
+
+func TestGrantForRequiresBuilderPrivilege(t *testing.T) {
+	_, h := newHV(true)
+	a := mkDom(t, h, "a", true)
+	b := mkDom(t, h, "b", true)
+	if _, err := h.GrantFor(a.ID, b.ID, a.ID, 0, false); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("grant-for without DomctlPriv: %v", err)
+	}
+	h.AssignPrivileges(SystemCaller, a.ID, Assignment{Hypercalls: []xtypes.Hypercall{xtypes.HyperDomctlPriv}})
+	if _, err := h.GrantFor(a.ID, b.ID, a.ID, 0, false); err != nil {
+		t.Fatalf("grant-for with privilege: %v", err)
+	}
+}
+
+func TestSelfExitOfUnknownDomain(t *testing.T) {
+	_, h := newHV(true)
+	if err := h.SelfExit(42); !errors.Is(err, xtypes.ErrNoDomain) {
+		t.Fatalf("self-exit of ghost: %v", err)
+	}
+}
+
+func TestDomainsOrderedByID(t *testing.T) {
+	_, h := newHV(true)
+	for i := 0; i < 5; i++ {
+		mkDom(t, h, "d", true)
+	}
+	prev := xtypes.DomID(0)
+	for i, d := range h.Domains() {
+		if i > 0 && d.ID <= prev {
+			t.Fatalf("domains out of order: %v", h.Domains())
+		}
+		prev = d.ID
+	}
+}
+
+func TestComputeOnDeadDomainPassesTime(t *testing.T) {
+	env, h := newHV(true)
+	d := mkDom(t, h, "short-lived", true)
+	h.DestroyDomain(SystemCaller, d.ID, "gone")
+	var elapsed sim.Duration
+	env.Spawn("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		h.Compute(p, d.ID, 5*sim.Millisecond)
+		elapsed = p.Now().Sub(t0)
+	})
+	env.RunAll()
+	if elapsed != 5*sim.Millisecond {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+}
+
+func TestUnlinkShardClientRevokesIVC(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "s", true)
+	guest := mkDom(t, h, "g", false)
+	h.LinkShardClient(SystemCaller, shard.ID, guest.ID)
+	if _, err := h.Grant(guest.ID, shard.ID, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.UnlinkShardClient(SystemCaller, shard.ID, guest.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh IVC setup is blocked again.
+	if _, err := h.Grant(guest.ID, shard.ID, 1, false); !errors.Is(err, xtypes.ErrNotDelegated) {
+		t.Fatalf("grant after unlink: %v", err)
+	}
+}
+
+func TestDebugOpDeprivilegedByDefault(t *testing.T) {
+	_, h := newHV(true)
+	g := mkDom(t, h, "g", false)
+	// The platform ships with guests deprivileged: the debug-register
+	// interface — the vector of two studied CVEs — is not in the default
+	// whitelist (§6.2.1's mitigation posture). An administrator could
+	// re-enable it per shard via permit_hypercall.
+	if err := h.DebugOp(g.ID); !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("debug op for plain guest: %v", err)
+	}
+	shard := mkDom(t, h, "debugger", true)
+	h.AssignPrivileges(SystemCaller, shard.ID, Assignment{Hypercalls: []xtypes.Hypercall{xtypes.HyperDebugOp}})
+	if err := h.DebugOp(shard.ID); err != nil {
+		t.Fatalf("whitelisted debug op: %v", err)
+	}
+}
+
+func TestCreateDomainRollsBackIDOnFailure(t *testing.T) {
+	_, h := newHV(true)
+	// Exhaust memory so creation fails, then verify the next create reuses
+	// the ID (no ID burn on failure).
+	if _, err := h.CreateDomain(SystemCaller, DomainConfig{Name: "huge", MemMB: 1 << 20}); !errors.Is(err, xtypes.ErrNoMem) {
+		t.Fatal("overcommit accepted")
+	}
+	d := mkDom(t, h, "after", true)
+	if d.ID != 0 {
+		t.Fatalf("id after failed create = %v", d.ID)
+	}
+}

@@ -1,0 +1,99 @@
+package hw
+
+import (
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+// NIC models a Gigabit Ethernet controller. Transmit and receive paths are
+// independent resources (full duplex); each transfer occupies the wire for
+// size/line-rate. A separate LAN latency constant models the propagation and
+// switch delay to the directly connected test peer.
+type NIC struct {
+	env  *sim.Env
+	name string
+	addr xtypes.PCIAddr
+
+	// LineRate is effective payload bandwidth in bytes/second. Gigabit
+	// Ethernet minus framing overhead lands near 117MB/s.
+	LineRate float64
+	// LANLatency is one-way propagation to the directly attached peer.
+	LANLatency sim.Duration
+
+	tx *sim.Resource
+	rx *sim.Resource
+
+	initialized bool
+	// PHY autonegotiation plus driver probe dominates full bring-up.
+	initTime       sim.Duration
+	fastReinitTime sim.Duration
+
+	// Counters for tests and experiment output.
+	TxBytes int64
+	RxBytes int64
+}
+
+// NewNIC returns a Gigabit NIC at addr.
+func NewNIC(env *sim.Env, name string, addr xtypes.PCIAddr) *NIC {
+	return &NIC{
+		env:            env,
+		name:           name,
+		addr:           addr,
+		LineRate:       117e6,
+		LANLatency:     50 * sim.Microsecond,
+		tx:             sim.NewResource(env, 1),
+		rx:             sim.NewResource(env, 1),
+		initTime:       3500 * sim.Millisecond, // PHY autoneg ~3s + probe
+		fastReinitTime: 30 * sim.Millisecond,
+	}
+}
+
+// Addr implements Device.
+func (n *NIC) Addr() xtypes.PCIAddr { return n.addr }
+
+// Class implements Device.
+func (n *NIC) Class() xtypes.DeviceClass { return xtypes.DevNIC }
+
+// Name implements Device.
+func (n *NIC) Name() string { return n.name }
+
+// InitTime implements Device.
+func (n *NIC) InitTime() sim.Duration { return n.initTime }
+
+// FastReinitTime implements Device.
+func (n *NIC) FastReinitTime() sim.Duration { return n.fastReinitTime }
+
+// Reset implements Device: full reinitialization, costing InitTime.
+func (n *NIC) Reset(p *sim.Proc) {
+	n.initialized = false
+	p.Sleep(n.initTime)
+	n.initialized = true
+}
+
+// FastReinit re-attaches to live hardware without a PHY renegotiation.
+func (n *NIC) FastReinit(p *sim.Proc) {
+	p.Sleep(n.fastReinitTime)
+	n.initialized = true
+}
+
+// Initialized reports whether the NIC has been brought up.
+func (n *NIC) Initialized() bool { return n.initialized }
+
+// wireTime converts a payload size to wire occupancy.
+func (n *NIC) wireTime(bytes int) sim.Duration {
+	return sim.Duration(float64(bytes) / n.LineRate * float64(sim.Second))
+}
+
+// Transmit sends bytes out the wire, blocking for the wire time. The wire
+// slot is released even if the caller is killed mid-transfer (a NetBack pump
+// torn down by a microreboot).
+func (n *NIC) Transmit(p *sim.Proc, bytes int) {
+	n.tx.Use(p, n.wireTime(bytes))
+	n.TxBytes += int64(bytes)
+}
+
+// Receive models bytes arriving from the wire, blocking for the wire time.
+func (n *NIC) Receive(p *sim.Proc, bytes int) {
+	n.rx.Use(p, n.wireTime(bytes))
+	n.RxBytes += int64(bytes)
+}

@@ -1,0 +1,170 @@
+// Package migrate implements pre-copy live migration of guest VMs between
+// hosts, the enterprise feature the paper repeatedly names as the reason a
+// virtualization platform cannot simply delete its control plane (§1,
+// §2.3.1: NoHype "could no longer be used for interposition, which is
+// necessary for live migration").
+//
+// The algorithm is the classic iterative pre-copy of Clark et al. (NSDI'05),
+// which Xen implements and Xoar preserves: copy all memory while the guest
+// runs, then repeatedly copy the pages dirtied during the previous round,
+// and finally pause the guest for a brief stop-and-copy of the residual
+// dirty set. Migration requires exactly the privileges the paper's model
+// assigns: the orchestrating component must hold foreign-mapping rights over
+// the guest on the source host and domain-building rights on the
+// destination.
+package migrate
+
+import (
+	"fmt"
+
+	"xoar/internal/hv"
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+// Link models the migration network between two hosts.
+type Link struct {
+	// Bandwidth in bytes/second (a dedicated Gigabit management link by
+	// default).
+	Bandwidth float64
+	// RTT is the per-round control handshake cost.
+	RTT sim.Duration
+}
+
+// DefaultLink is a Gigabit management network.
+func DefaultLink() Link { return Link{Bandwidth: 117e6, RTT: 200 * sim.Microsecond} }
+
+// Options tune the pre-copy loop.
+type Options struct {
+	// MaxRounds bounds the iterative phase before forcing stop-and-copy.
+	MaxRounds int
+	// StopThresholdPages: when the dirty set shrinks below this, stop.
+	StopThresholdPages int
+	// DirtyPagesPerSec models the guest's writable-working-set rate; real
+	// Xen measures this with shadow page tables, which the memory model
+	// stands in for.
+	DirtyPagesPerSec int
+}
+
+// DefaultOptions matches Xen's defaults in spirit.
+func DefaultOptions() Options {
+	return Options{MaxRounds: 29, StopThresholdPages: 50, DirtyPagesPerSec: 2000}
+}
+
+// Result reports a migration's metrics.
+type Result struct {
+	Rounds      int
+	PagesCopied int
+	// Downtime is the stop-and-copy blackout the guest observes.
+	Downtime sim.Duration
+	// TotalTime is wall-clock from start to resume on the destination.
+	TotalTime sim.Duration
+}
+
+// activationCost is the destination-side unpause plus gratuitous-ARP delay.
+const activationCost = 30 * sim.Millisecond
+
+// transfer charges link time for n pages.
+func (l Link) transfer(p *sim.Proc, pages int) {
+	bytes := float64(pages * xtypes.PageSize)
+	p.Sleep(sim.Duration(bytes/l.Bandwidth*float64(sim.Second)) + l.RTT)
+}
+
+// LiveMigrate moves guest from src to dst.
+//
+// caller is the orchestrating domain on the source (a Toolstack in the Xoar
+// profile, Dom0 in the stock one); it must hold HyperMapForeign plus control
+// over the guest — the hypervisor enforces both. dstCaller plays the Builder
+// role on the destination and must hold domain-creation rights there.
+//
+// On success the guest is destroyed on src and a running domain with
+// identical memory contents exists on dst; its ID there is returned. Device
+// connections are *not* migrated — exactly as in Xen, the destination
+// toolstack re-wires vifs and vbds and the frontends renegotiate, the same
+// protocol recovery path microreboots use (§3.3).
+func LiveMigrate(p *sim.Proc, src *hv.Hypervisor, caller, guest xtypes.DomID,
+	dst *hv.Hypervisor, dstCaller xtypes.DomID, link Link, opts Options) (xtypes.DomID, Result, error) {
+
+	var res Result
+	start := p.Now()
+
+	d, err := src.Domain(guest)
+	if err != nil {
+		return xtypes.DomIDNone, res, err
+	}
+	// Privilege probe: mapping the guest's memory is exactly what the
+	// copying loop needs; if this fails the caller has no business migrating
+	// the VM.
+	if err := src.MapForeign(caller, guest, 0); err != nil {
+		return xtypes.DomIDNone, res, fmt.Errorf("migrate: source privileges: %w", err)
+	}
+	defer src.UnmapForeign(caller, guest)
+
+	// Destination reservation: same configuration, paused.
+	dstShell, err := dst.CreateDomain(dstCaller, d.Cfg)
+	if err != nil {
+		return xtypes.DomIDNone, res, fmt.Errorf("migrate: destination: %w", err)
+	}
+	dstDom := dstShell.ID
+
+	// Round 0: the full touched set, while the guest keeps running.
+	pending := d.Mem.TouchedPages()
+	if pending == 0 {
+		pending = 1
+	}
+	for {
+		res.Rounds++
+		res.PagesCopied += pending
+		roundStart := p.Now()
+		link.transfer(p, pending)
+		roundSecs := p.Now().Sub(roundStart).Seconds()
+		// Pages dirtied while this round was on the wire become the next
+		// round's work — bounded by the guest's reservation, since a VM
+		// cannot dirty more pages than it has.
+		pending = int(float64(opts.DirtyPagesPerSec) * roundSecs)
+		if pending > d.Mem.MaxPages() {
+			pending = d.Mem.MaxPages()
+		}
+		if pending <= opts.StopThresholdPages || res.Rounds >= opts.MaxRounds {
+			break
+		}
+	}
+
+	// Stop-and-copy: pause, move the residual set plus the actual page
+	// contents, hand over, resume.
+	if err := src.Pause(caller, guest); err != nil {
+		return xtypes.DomIDNone, res, err
+	}
+	blackoutStart := p.Now()
+	if pending > 0 {
+		res.PagesCopied += pending
+		link.transfer(p, pending)
+	}
+	// Contents move with the VM: replicate every touched page verbatim.
+	dd, err := dst.Domain(dstDom)
+	if err != nil {
+		return xtypes.DomIDNone, res, err
+	}
+	for pfn := xtypes.PFN(0); pfn < xtypes.PFN(d.Mem.MaxPages()); pfn++ {
+		data, rerr := d.Mem.Read(pfn)
+		if rerr != nil || data == nil {
+			continue
+		}
+		if werr := dd.Mem.Write(pfn, data); werr != nil {
+			return xtypes.DomIDNone, res, werr
+		}
+	}
+	p.Sleep(activationCost)
+	if err := dst.Unpause(dstCaller, dstDom); err != nil {
+		return xtypes.DomIDNone, res, err
+	}
+	res.Downtime = p.Now().Sub(blackoutStart)
+
+	// The source copy is gone; its devices tear down through the normal
+	// destroy path.
+	if err := src.DestroyDomain(caller, guest, "migrated"); err != nil {
+		return xtypes.DomIDNone, res, err
+	}
+	res.TotalTime = p.Now().Sub(start)
+	return dstDom, res, nil
+}

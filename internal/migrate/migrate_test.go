@@ -1,0 +1,207 @@
+package migrate
+
+import (
+	"errors"
+	"testing"
+
+	"xoar/internal/hv"
+	"xoar/internal/hw"
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+// twoHosts builds two hypervisors in one simulation: a source with a
+// privileged orchestrator and a guest, and an empty destination with a
+// builder-role domain.
+func twoHosts(t *testing.T) (*sim.Env, *hv.Hypervisor, *hv.Hypervisor, *hv.Domain, *hv.Domain, *hv.Domain) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	src := hv.New(env, hw.NewMachine(env))
+	dst := hv.New(env, hw.NewMachine(env))
+
+	orch, _ := src.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "toolstack", MemMB: 128, Shard: true})
+	src.Unpause(hv.SystemCaller, orch.ID)
+	src.AssignPrivileges(hv.SystemCaller, orch.ID, hv.Assignment{Hypercalls: []xtypes.Hypercall{
+		xtypes.HyperMapForeign, xtypes.HyperDomctlPause, xtypes.HyperDomctlDestroy,
+	}})
+
+	guest, _ := src.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "app", MemMB: 1024})
+	src.Unpause(hv.SystemCaller, guest.ID)
+	// The orchestrator must control the guest: make it the parent toolstack.
+	srcBuilderish := hv.SystemCaller
+	_ = srcBuilderish
+	srcSetParent(t, src, guest.ID, orch.ID)
+
+	dstBuilder, _ := dst.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "builder", MemMB: 64, Shard: true})
+	dst.Unpause(hv.SystemCaller, dstBuilder.ID)
+	dst.AssignPrivileges(hv.SystemCaller, dstBuilder.ID, hv.Assignment{Hypercalls: []xtypes.Hypercall{
+		xtypes.HyperDomctlCreate, xtypes.HyperDomctlUnpause,
+	}})
+	return env, src, dst, orch, guest, dstBuilder
+}
+
+func srcSetParent(t *testing.T, h *hv.Hypervisor, guest, tool xtypes.DomID) {
+	t.Helper()
+	if err := h.SetParentTool(hv.SystemCaller, guest, tool); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveMigrationMovesMemory(t *testing.T) {
+	env, src, dst, orch, guest, dstBuilder := twoHosts(t)
+	// Populate guest memory with recognizable contents — enough pages that
+	// the pre-copy needs several rounds to converge.
+	for i := 0; i < 20000; i++ {
+		guest.Mem.Write(xtypes.PFN(i), []byte{byte(i), byte(i >> 3)})
+	}
+
+	var dstDom xtypes.DomID
+	var res Result
+	var err error
+	env.Spawn("migrate", func(p *sim.Proc) {
+		dstDom, res, err = LiveMigrate(p, src, orch.ID, guest.ID, dst, dstBuilder.ID, DefaultLink(), DefaultOptions())
+	})
+	env.RunFor(300 * sim.Second)
+	env.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gone from the source.
+	if _, err := src.Domain(guest.ID); !errors.Is(err, xtypes.ErrNoDomain) {
+		t.Fatal("guest survived on source")
+	}
+	// Running on the destination with identical contents.
+	dd, err := dst.Domain(dstDom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.State != hv.StateRunning {
+		t.Fatalf("dst state = %v", dd.State)
+	}
+	for i := 0; i < 20000; i++ {
+		data, _ := dd.Mem.Read(xtypes.PFN(i))
+		if len(data) != 2 || data[0] != byte(i) {
+			t.Fatalf("page %d content mismatch: %v", i, data)
+		}
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("rounds = %d, expected iterative pre-copy", res.Rounds)
+	}
+	if res.PagesCopied < 20000 {
+		t.Fatalf("pages copied = %d", res.PagesCopied)
+	}
+}
+
+func TestDowntimeFarBelowTotalTime(t *testing.T) {
+	env, src, dst, orch, guest, dstBuilder := twoHosts(t)
+	// A large touched set makes the full copy expensive.
+	for i := 0; i < 50000; i++ {
+		guest.Mem.Write(xtypes.PFN(i), []byte{1})
+	}
+	var res Result
+	var err error
+	env.Spawn("migrate", func(p *sim.Proc) {
+		_, res, err = LiveMigrate(p, src, orch.ID, guest.ID, dst, dstBuilder.ID, DefaultLink(), DefaultOptions())
+	})
+	env.RunFor(600 * sim.Second)
+	env.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50000 pages ≈ 200MB ≈ 1.75s on the wire; downtime must be a tiny
+	// fraction of it — the whole point of pre-copy.
+	if res.TotalTime < sim.Second {
+		t.Fatalf("total = %v, expected over a second", res.TotalTime)
+	}
+	if res.Downtime > 100*sim.Millisecond {
+		t.Fatalf("downtime = %v, want well under 100ms", res.Downtime)
+	}
+	if res.Downtime <= activationCost/2 {
+		t.Fatalf("downtime = %v suspiciously low", res.Downtime)
+	}
+}
+
+func TestMigrationRequiresSourcePrivileges(t *testing.T) {
+	env, src, dst, _, guest, dstBuilder := twoHosts(t)
+	// An unprivileged sibling guest tries to steal the VM.
+	rogue, _ := src.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "rogue", MemMB: 64})
+	src.Unpause(hv.SystemCaller, rogue.ID)
+	var err error
+	env.Spawn("migrate", func(p *sim.Proc) {
+		_, _, err = LiveMigrate(p, src, rogue.ID, guest.ID, dst, dstBuilder.ID, DefaultLink(), DefaultOptions())
+	})
+	env.RunFor(60 * sim.Second)
+	env.Shutdown()
+	if !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("rogue migration: %v", err)
+	}
+	// The guest is untouched.
+	if _, derr := src.Domain(guest.ID); derr != nil {
+		t.Fatal("guest harmed by failed migration")
+	}
+}
+
+func TestMigrationRequiresDestinationPrivileges(t *testing.T) {
+	env, src, dst, orch, guest, _ := twoHosts(t)
+	// A destination domain without domain-creation rights.
+	weak, _ := dst.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "weak", MemMB: 64, Shard: true})
+	dst.Unpause(hv.SystemCaller, weak.ID)
+	var err error
+	env.Spawn("migrate", func(p *sim.Proc) {
+		_, _, err = LiveMigrate(p, src, orch.ID, guest.ID, dst, weak.ID, DefaultLink(), DefaultOptions())
+	})
+	env.RunFor(60 * sim.Second)
+	env.Shutdown()
+	if !errors.Is(err, xtypes.ErrPerm) {
+		t.Fatalf("unprivileged destination: %v", err)
+	}
+}
+
+func TestHighDirtyRateForcesMaxRounds(t *testing.T) {
+	env, src, dst, orch, guest, dstBuilder := twoHosts(t)
+	for i := 0; i < 30000; i++ {
+		guest.Mem.Write(xtypes.PFN(i), []byte{1})
+	}
+	opts := DefaultOptions()
+	opts.DirtyPagesPerSec = 10_000_000 // dirties faster than the link copies
+	opts.MaxRounds = 6
+	var res Result
+	var err error
+	env.Spawn("migrate", func(p *sim.Proc) {
+		_, res, err = LiveMigrate(p, src, orch.ID, guest.ID, dst, dstBuilder.ID, DefaultLink(), opts)
+	})
+	env.RunFor(600 * sim.Second)
+	env.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != opts.MaxRounds {
+		t.Fatalf("rounds = %d, want forced cutoff at %d", res.Rounds, opts.MaxRounds)
+	}
+	// A non-converging pre-copy pays for it in downtime.
+	if res.Downtime < 50*sim.Millisecond {
+		t.Fatalf("downtime = %v, expected large residual copy", res.Downtime)
+	}
+}
+
+func TestMigrationToFullDestinationFails(t *testing.T) {
+	env, src, dst, orch, guest, dstBuilder := twoHosts(t)
+	// Exhaust destination memory first.
+	hog, err := dst.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "hog", MemMB: 3900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Unpause(hv.SystemCaller, hog.ID)
+	var merr error
+	env.Spawn("migrate", func(p *sim.Proc) {
+		_, _, merr = LiveMigrate(p, src, orch.ID, guest.ID, dst, dstBuilder.ID, DefaultLink(), DefaultOptions())
+	})
+	env.RunFor(60 * sim.Second)
+	env.Shutdown()
+	if !errors.Is(merr, xtypes.ErrNoMem) {
+		t.Fatalf("migration to full host: %v", merr)
+	}
+	if _, err := src.Domain(guest.ID); err != nil {
+		t.Fatal("guest lost after failed migration")
+	}
+}

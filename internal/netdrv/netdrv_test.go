@@ -1,0 +1,389 @@
+package netdrv
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"xoar/internal/hv"
+	"xoar/internal/hw"
+	"xoar/internal/sim"
+	"xoar/internal/snapshot"
+	"xoar/internal/xenstore"
+	"xoar/internal/xtypes"
+)
+
+type harness struct {
+	env   *sim.Env
+	h     *hv.Hypervisor
+	back  *Backend
+	front *Frontend
+	guest *hv.Domain
+	nb    *hv.Domain
+}
+
+func newHarness(t *testing.T, link bool) *harness {
+	t.Helper()
+	env := sim.NewEnv(1)
+	machine := hw.NewMachine(env)
+	h := hv.New(env, machine)
+	h.EnforceShardIVC = true
+
+	nb, err := h.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "netback", MemMB: 128, Shard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Unpause(hv.SystemCaller, nb.ID)
+	h.AssignPrivileges(hv.SystemCaller, nb.ID, hv.Assignment{
+		PCIDevices: []xtypes.PCIAddr{machine.NICs()[0].Addr()},
+		Hypercalls: []xtypes.Hypercall{xtypes.HyperVMSnapshot},
+	})
+	guest, err := h.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "guest", MemMB: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Unpause(hv.SystemCaller, guest.ID)
+
+	logic := xenstore.NewLogic(env, xenstore.NewState())
+	backXS := logic.Connect(nb.ID, true)
+	frontXS := logic.Connect(guest.ID, true)
+
+	back := NewBackend(h, nb.ID, machine.NICs()[0], backXS)
+	front := NewFrontend(h, guest.ID, frontXS)
+	if link {
+		if err := h.LinkShardClient(hv.SystemCaller, nb.ID, guest.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &harness{env: env, h: h, back: back, front: front, guest: guest, nb: nb}
+}
+
+func (hn *harness) startAndConnect(t *testing.T) {
+	t.Helper()
+	done := false
+	hn.env.Spawn("boot", func(p *sim.Proc) {
+		hn.back.Start(p)
+		hn.back.CreateVif(hn.guest.ID)
+		if err := hn.front.Connect(p, hn.back); err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		done = true
+	})
+	hn.env.RunFor(10 * sim.Second)
+	if !done {
+		t.Fatal("handshake did not complete")
+	}
+}
+
+func TestHandshakeRequiresShardLink(t *testing.T) {
+	hn := newHarness(t, false)
+	var connectErr error
+	hn.env.Spawn("boot", func(p *sim.Proc) {
+		hn.back.Start(p)
+		hn.back.CreateVif(hn.guest.ID)
+		connectErr = hn.front.Connect(p, hn.back)
+	})
+	hn.env.RunFor(10 * sim.Second)
+	hn.env.Shutdown()
+	if !errors.Is(connectErr, xtypes.ErrNotDelegated) {
+		t.Fatalf("connect without link: %v", connectErr)
+	}
+}
+
+func TestHandshakeAndXenStoreStates(t *testing.T) {
+	hn := newHarness(t, true)
+	hn.startAndConnect(t)
+	st, err := hn.back.XS.Read(xenstore.TxNone, "/local/domain/0/backend/vif/1/state")
+	if err != nil || st != "connected" {
+		t.Fatalf("backend vif state = %q, %v", st, err)
+	}
+	st, _ = hn.front.XS.Read(xenstore.TxNone, "/local/domain/1/device/vif/0/state")
+	if st != "connected" {
+		t.Fatalf("frontend state = %q", st)
+	}
+	if !hn.front.Connected() {
+		t.Fatal("frontend not connected")
+	}
+	hn.env.Shutdown()
+}
+
+func TestRxPathThroughput(t *testing.T) {
+	hn := newHarness(t, true)
+	hn.startAndConnect(t)
+
+	const total = 117_000_000 // ~1s at line rate
+	var start, end sim.Time
+	var received int64
+	// Remote peer pushes chunks onto the wire.
+	hn.env.Spawn("remote", func(p *sim.Proc) {
+		start = p.Now()
+		var seq int64
+		for sent := 0; sent < total; sent += ChunkBytes {
+			hn.back.WireDeliver(p, hn.guest.ID, ChunkBytes, seq)
+			seq++
+		}
+	})
+	// Guest consumes.
+	hn.env.Spawn("guest-app", func(p *sim.Proc) {
+		for received < total {
+			pkt, err := hn.front.Recv(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			received += int64(pkt.Bytes)
+			end = p.Now()
+		}
+	})
+	hn.env.RunFor(30 * sim.Second)
+	hn.env.Shutdown()
+	if received < total {
+		t.Fatalf("received %d of %d", received, total)
+	}
+	elapsed := end.Sub(start).Seconds()
+	tput := float64(received) / elapsed / 1e6
+	// The virtual path should sustain near line rate (>100MB/s).
+	if tput < 100 || tput > 120 {
+		t.Fatalf("throughput = %.1f MB/s", tput)
+	}
+	if hn.back.ForwardedRx == 0 {
+		t.Fatal("no forwarding accounted")
+	}
+}
+
+func TestTxPath(t *testing.T) {
+	hn := newHarness(t, true)
+	hn.startAndConnect(t)
+	const chunks = 100
+	hn.env.Spawn("guest-app", func(p *sim.Proc) {
+		for i := 0; i < chunks; i++ {
+			if err := hn.front.Send(p, ChunkBytes, int64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	hn.env.RunFor(10 * sim.Second)
+	hn.env.Shutdown()
+	if hn.back.NIC.TxBytes != chunks*ChunkBytes {
+		t.Fatalf("tx bytes = %d", hn.back.NIC.TxBytes)
+	}
+	if hn.front.SentBytes != chunks*ChunkBytes {
+		t.Fatalf("front sent = %d", hn.front.SentBytes)
+	}
+}
+
+func TestRestartDowntimes(t *testing.T) {
+	for _, tc := range []struct {
+		fast bool
+		want sim.Duration
+	}{
+		{fast: false, want: 260 * sim.Millisecond},
+		{fast: true, want: 140 * sim.Millisecond},
+	} {
+		hn := newHarness(t, true)
+		hn.startAndConnect(t)
+		var downtime sim.Duration
+		hn.env.Spawn("restarter", func(p *sim.Proc) {
+			t0 := p.Now()
+			hn.back.Restart(p, tc.fast)
+			downtime = p.Now().Sub(t0)
+		})
+		hn.env.RunFor(20 * sim.Second)
+		hn.env.Shutdown()
+		if math.Abs(downtime.Seconds()-tc.want.Seconds()) > 0.005 {
+			t.Errorf("fast=%v downtime = %v, want %v", tc.fast, downtime, tc.want)
+		}
+		if !hn.back.Serving() {
+			t.Errorf("fast=%v backend not serving after restart", tc.fast)
+		}
+	}
+}
+
+func TestPacketsDroppedDuringRestart(t *testing.T) {
+	hn := newHarness(t, true)
+	hn.startAndConnect(t)
+	var delivered, dropped int
+	hn.env.Spawn("restarter", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Millisecond)
+		hn.back.Restart(p, false)
+	})
+	hn.env.Spawn("remote", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			if hn.back.WireDeliver(p, hn.guest.ID, ChunkBytes, int64(i)) {
+				delivered++
+			} else {
+				dropped++
+			}
+			p.Sleep(5 * sim.Millisecond)
+		}
+	})
+	hn.env.Spawn("guest-app", func(p *sim.Proc) {
+		for {
+			if _, err := hn.front.Recv(p); err != nil {
+				if !hn.front.WaitReconnect(p, 5*sim.Second) {
+					return
+				}
+			}
+		}
+	})
+	hn.env.RunFor(5 * sim.Second)
+	hn.env.Shutdown()
+	if dropped == 0 {
+		t.Fatal("no packets dropped during a 260ms outage with 5ms spacing")
+	}
+	// Roughly 260ms/5ms ≈ 52 drops; allow slack for pipeline effects.
+	if dropped < 40 || dropped > 70 {
+		t.Fatalf("dropped = %d, want ~52", dropped)
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestFrontendReconnectAfterRestart(t *testing.T) {
+	hn := newHarness(t, true)
+	hn.startAndConnect(t)
+	var sawBreak, reconnected bool
+	var resumedBytes int64
+	hn.env.Spawn("guest-app", func(p *sim.Proc) {
+		for {
+			pkt, err := hn.front.Recv(p)
+			if err != nil {
+				sawBreak = true
+				if !hn.front.WaitReconnect(p, 5*sim.Second) {
+					t.Error("reconnect timed out")
+					return
+				}
+				reconnected = true
+				continue
+			}
+			resumedBytes += int64(pkt.Bytes)
+			if reconnected {
+				return // received data after reconnect: done
+			}
+		}
+	})
+	hn.env.Spawn("restarter", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Millisecond)
+		hn.back.Restart(p, false)
+	})
+	hn.env.Spawn("remote", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			hn.back.WireDeliver(p, hn.guest.ID, ChunkBytes, int64(i))
+			p.Sleep(10 * sim.Millisecond)
+		}
+	})
+	hn.env.RunFor(10 * sim.Second)
+	hn.env.Shutdown()
+	if !sawBreak {
+		t.Fatal("frontend never observed the disconnect")
+	}
+	if !reconnected || resumedBytes == 0 {
+		t.Fatalf("reconnected=%v resumedBytes=%d", reconnected, resumedBytes)
+	}
+	if hn.back.RestartCount != 1 {
+		t.Fatalf("restart count = %d", hn.back.RestartCount)
+	}
+}
+
+func TestBackendIsRestartable(t *testing.T) {
+	hn := newHarness(t, true)
+	hn.startAndConnect(t)
+	hn.guest.Mem.Write(0, []byte("x")) // unrelated guest write
+	hn.nb.Mem.Write(0, []byte("netback init state"))
+	if err := hn.h.VMSnapshot(hn.nb.ID); err != nil {
+		t.Fatal(err)
+	}
+	eng := snapshot.NewEngine(hn.h, hv.SystemCaller)
+	if err := eng.Manage(hn.back.AsRestartable(), snapshot.Policy{Kind: snapshot.PolicyTimer, Interval: sim.Second}); err != nil {
+		t.Fatal(err)
+	}
+	hn.env.RunFor(3500 * sim.Millisecond)
+	hn.env.Shutdown()
+	st, ok := eng.Stats(hn.nb.ID)
+	if !ok || st.Restarts < 2 {
+		t.Fatalf("engine stats = %+v", st)
+	}
+	// Downtime per restart must be ~260ms (slow mode).
+	avg := st.TotalDowntime.Seconds() / float64(st.Restarts)
+	if math.Abs(avg-0.26) > 0.02 {
+		t.Fatalf("avg downtime = %.3fs", avg)
+	}
+}
+
+func TestRemoveVif(t *testing.T) {
+	hn := newHarness(t, true)
+	hn.startAndConnect(t)
+	hn.back.RemoveVif(hn.guest.ID)
+	hn.env.Spawn("remote", func(p *sim.Proc) {
+		if hn.back.WireDeliver(p, hn.guest.ID, ChunkBytes, 0) {
+			t.Error("delivery to removed vif succeeded")
+		}
+	})
+	hn.env.RunFor(sim.Second)
+	hn.env.Shutdown()
+	if _, err := hn.back.XS.Read(xenstore.TxNone, "/local/domain/0/backend/vif/1/state"); err == nil {
+		t.Fatal("vif xenstore node survived removal")
+	}
+}
+
+// The watch-driven flow: the backend's autonomous event loop notices the
+// frontend's XenStore advertisement and connects, with no direct call from
+// the frontend side (§4.5.1).
+func TestWatchDrivenHandshake(t *testing.T) {
+	hn := newHarness(t, true)
+	var connErr error
+	hn.env.Spawn("backend-boot", func(p *sim.Proc) {
+		hn.back.Start(p)
+		hn.back.CreateVif(hn.guest.ID)
+	})
+	hn.env.Spawn("backend-loop", func(p *sim.Proc) {
+		hn.back.WatchAndServe(p)
+	})
+	hn.env.Spawn("frontend", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Second) // after backend is up
+		connErr = hn.front.Advertise(p, hn.back, 10*sim.Second)
+	})
+	hn.env.RunFor(30 * sim.Second)
+	if connErr != nil {
+		t.Fatalf("watch-driven connect: %v", connErr)
+	}
+	if !hn.front.Connected() {
+		t.Fatal("not connected")
+	}
+	// Traffic flows normally afterwards.
+	var got int
+	hn.env.Spawn("remote", func(p *sim.Proc) {
+		hn.back.WireDeliver(p, hn.guest.ID, ChunkBytes, 1)
+	})
+	hn.env.Spawn("guest", func(p *sim.Proc) {
+		if pkt, err := hn.front.Recv(p); err == nil {
+			got = pkt.Bytes
+		}
+	})
+	hn.env.RunFor(5 * sim.Second)
+	hn.env.Shutdown()
+	if got != ChunkBytes {
+		t.Fatalf("got %d bytes", got)
+	}
+}
+
+// Without a vif provisioned by the toolstack, the backend's event loop must
+// ignore the advertisement (no vif record = guest not attached here).
+func TestWatchLoopIgnoresUnknownFrontends(t *testing.T) {
+	hn := newHarness(t, true)
+	var connErr error
+	hn.env.Spawn("backend-boot", func(p *sim.Proc) { hn.back.Start(p) })
+	hn.env.Spawn("backend-loop", func(p *sim.Proc) { hn.back.WatchAndServe(p) })
+	hn.env.Spawn("frontend", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Second)
+		connErr = hn.front.Advertise(p, hn.back, 3*sim.Second)
+	})
+	hn.env.RunFor(20 * sim.Second)
+	hn.env.Shutdown()
+	if connErr == nil {
+		t.Fatal("connected without a provisioned vif")
+	}
+}

@@ -1,0 +1,196 @@
+package netdrv
+
+import (
+	"fmt"
+
+	"xoar/internal/sim"
+	"xoar/internal/xenstore"
+	"xoar/internal/xtypes"
+
+	hvpkg "xoar/internal/hv"
+)
+
+// Frontend is NetFront: the guest-side virtual network device.
+type Frontend struct {
+	H     *hvpkg.Hypervisor
+	Guest xtypes.DomID
+	XS    *xenstore.Conn
+
+	back *Backend
+	v    *vif
+
+	// ReceivedBytes counts payload delivered to the guest.
+	ReceivedBytes int64
+	SentBytes     int64
+}
+
+// NewFrontend constructs the guest-side driver.
+func NewFrontend(h *hvpkg.Hypervisor, guest xtypes.DomID, xs *xenstore.Conn) *Frontend {
+	return &Frontend{H: h, Guest: guest, XS: xs}
+}
+
+// Connect performs the frontend half of the handshake against back:
+// grant the ring pages, allocate the event channel, advertise both in
+// XenStore, then wait for the backend to flip to connected.
+func (f *Frontend) Connect(p *sim.Proc, back *Backend) error {
+	f.back = back
+	v, ok := back.vifs[f.Guest]
+	if !ok {
+		return fmt.Errorf("netfront: backend has no vif for %v: %w", f.Guest, xtypes.ErrNotFound)
+	}
+	f.v = v
+
+	// Grant two ring pages (rx at pfn 10, tx at pfn 11 of the guest's space)
+	// to the backend domain. Fails unless the toolstack linked this guest to
+	// the shard.
+	rxRef, err := f.H.Grant(f.Guest, back.Dom, 10, false)
+	if err != nil {
+		return err
+	}
+	txRef, err := f.H.Grant(f.Guest, back.Dom, 11, false)
+	if err != nil {
+		return err
+	}
+	port, err := f.H.EvtchnAllocUnbound(f.Guest, back.Dom)
+	if err != nil {
+		return err
+	}
+	refPath := frontPath(f.Guest) + "/ring-ref"
+	if err := f.XS.Write(xenstore.TxNone, refPath, fmt.Sprintf("%d/%d/%d", rxRef, txRef, port)); err != nil {
+		return err
+	}
+	// Let the backend (and only it) read the advertisement.
+	if err := f.XS.SetPerms(refPath, xenstore.Perms{Owner: f.Guest, Read: []xtypes.DomID{back.Dom}}); err != nil {
+		return err
+	}
+	f.XS.Write(xenstore.TxNone, frontPath(f.Guest)+"/state", "initialised")
+
+	if err := back.AcceptConnection(p, f.Guest); err != nil {
+		return err
+	}
+	f.XS.Write(xenstore.TxNone, frontPath(f.Guest)+"/state", "connected")
+	return nil
+}
+
+// Advertise performs only the frontend's half of the handshake — grant the
+// ring pages, allocate the event channel, publish (ring-refs, port) in
+// XenStore — and then waits for the backend's autonomous event loop
+// (Backend.WatchAndServe) to pick the advertisement up and flip the vif to
+// connected, as the real hotplug flow works. It fails after timeout if no
+// backend reacts.
+func (f *Frontend) Advertise(p *sim.Proc, back *Backend, timeout sim.Duration) error {
+	f.back = back
+	v, ok := back.vifs[f.Guest]
+	if !ok {
+		return fmt.Errorf("netfront: backend has no vif for %v: %w", f.Guest, xtypes.ErrNotFound)
+	}
+	f.v = v
+	rxRef, err := f.H.Grant(f.Guest, back.Dom, 10, false)
+	if err != nil {
+		return err
+	}
+	txRef, err := f.H.Grant(f.Guest, back.Dom, 11, false)
+	if err != nil {
+		return err
+	}
+	port, err := f.H.EvtchnAllocUnbound(f.Guest, back.Dom)
+	if err != nil {
+		return err
+	}
+	refPath := frontPath(f.Guest) + "/ring-ref"
+	if err := f.XS.Write(xenstore.TxNone, refPath, fmt.Sprintf("%d/%d/%d", rxRef, txRef, port)); err != nil {
+		return err
+	}
+	if err := f.XS.SetPerms(refPath, xenstore.Perms{Owner: f.Guest, Read: []xtypes.DomID{back.Dom}}); err != nil {
+		return err
+	}
+	f.XS.Write(xenstore.TxNone, frontPath(f.Guest)+"/state", "initialised")
+	if !f.WaitReconnect(p, timeout) {
+		return fmt.Errorf("netfront: no backend reacted to advertisement: %w", xtypes.ErrShutdown)
+	}
+	f.XS.Write(xenstore.TxNone, frontPath(f.Guest)+"/state", "connected")
+	return nil
+}
+
+// Connected reports whether the vif is currently usable.
+func (f *Frontend) Connected() bool { return f.v != nil && f.v.connected && !f.v.rx.Broken() }
+
+// Recv blocks until the next packet arrives, charges guest CPU, and
+// acknowledges the ring slot. It returns an error when the backend
+// disconnects mid-receive (microreboot); the caller should WaitReconnect.
+func (f *Frontend) Recv(p *sim.Proc) (Packet, error) {
+	if f.v == nil {
+		return Packet{}, fmt.Errorf("netfront: not connected: %w", xtypes.ErrInvalid)
+	}
+	pkt, err := f.v.rx.PopRequest(p)
+	if err != nil {
+		return Packet{}, err
+	}
+	f.H.Compute(p, f.Guest, frontChunkCPU)
+	// Ack may race a Break between pop and push; a failed ack is harmless
+	// (the whole ring is being reset).
+	if !f.v.rx.Broken() {
+		f.v.rx.PushResponse(ack{})
+	}
+	f.ReceivedBytes += int64(pkt.Bytes)
+	return pkt, nil
+}
+
+// TryRecv is Recv without blocking.
+func (f *Frontend) TryRecv(p *sim.Proc) (Packet, bool) {
+	if f.v == nil || f.v.rx.Broken() {
+		return Packet{}, false
+	}
+	pkt, ok := f.v.rx.TryPopRequest()
+	if !ok {
+		return Packet{}, false
+	}
+	f.H.Compute(p, f.Guest, frontChunkCPU)
+	if !f.v.rx.Broken() {
+		f.v.rx.PushResponse(ack{})
+	}
+	f.ReceivedBytes += int64(pkt.Bytes)
+	return pkt, true
+}
+
+// Send transmits a packet, blocking while the tx ring is full and reaping
+// acknowledgements. Returns an error on disconnect.
+func (f *Frontend) Send(p *sim.Proc, bytes int, seq int64) error {
+	if f.v == nil {
+		return fmt.Errorf("netfront: not connected: %w", xtypes.ErrInvalid)
+	}
+	// Reap completions to free slots.
+	for {
+		if _, ok := f.v.tx.TryPopResponse(); !ok {
+			break
+		}
+	}
+	f.H.Compute(p, f.Guest, frontChunkCPU)
+	// A full ring means completions are outstanding: harvest them (blocking)
+	// instead of waiting on raw space, which only frees via this very loop.
+	for !f.v.tx.TryPushRequest(Packet{Bytes: bytes, Seq: seq}) {
+		if _, err := f.v.tx.PopResponse(p); err != nil {
+			return err
+		}
+	}
+	f.SentBytes += int64(bytes)
+	return nil
+}
+
+// WaitReconnect blocks until the backend finishes a microreboot and the vif
+// is connected again, or the timeout expires. Frontends call this after a
+// Recv/Send error — virtual machine protocols are designed to renegotiate
+// (§3.3), which is what makes driver VMs the ideal reboot container.
+func (f *Frontend) WaitReconnect(p *sim.Proc, timeout sim.Duration) bool {
+	deadline := f.H.Env.Now().Add(timeout)
+	for f.H.Env.Now() < deadline {
+		if f.Connected() {
+			return true
+		}
+		// Poll on the backend's serving gate; the gate reopens when Restart
+		// completes. A small poll interval stands in for the XenStore watch
+		// wakeup without registering per-wait watches.
+		p.Sleep(5 * sim.Millisecond)
+	}
+	return f.Connected()
+}

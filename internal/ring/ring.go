@@ -1,0 +1,209 @@
+// Package ring implements Xen-style shared-memory I/O rings (§4.3): a
+// bounded, bi-directional channel on which a frontend places requests and a
+// backend places responses into the same slot pool, with event-channel
+// notifications for wakeups.
+//
+// As in Xen, all policy lives with the users of the ring: the ring itself
+// moves opaque messages and enforces only the slot discipline (a slot is
+// consumed by a request and freed when its response is consumed). This is
+// deliberately the paper's point about rings being a vector for malformed
+// data — backends must validate what they pop.
+package ring
+
+import (
+	"fmt"
+
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+// DefaultSlots is the slot count of a single-page ring with small descriptors,
+// matching Xen's RING_SIZE for netif/blkif rings.
+const DefaultSlots = 32
+
+// Ring is a shared request/response ring. Req and Resp are the descriptor
+// types of the protocol spoken over the ring.
+type Ring[Req, Resp any] struct {
+	env   *sim.Env
+	slots int
+	used  int // slots held by in-flight requests or unconsumed responses
+
+	reqs  []Req
+	resps []Resp
+
+	reqSig   *sim.Signal // new request available
+	respSig  *sim.Signal // new response available
+	spaceSig *sim.Signal // slot freed
+
+	// NotifyBack and NotifyFront, when set, are invoked after a push; drivers
+	// wire them to event-channel notifies so the signalling hop is visible to
+	// the security graph and costs virtual time in the drivers.
+	NotifyBack  func()
+	NotifyFront func()
+
+	broken bool
+}
+
+// New returns a ring with the given slot count bound to env.
+func New[Req, Resp any](env *sim.Env, slots int) *Ring[Req, Resp] {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	return &Ring[Req, Resp]{
+		env:      env,
+		slots:    slots,
+		reqSig:   sim.NewSignal(env),
+		respSig:  sim.NewSignal(env),
+		spaceSig: sim.NewSignal(env),
+	}
+}
+
+// Slots reports the ring capacity.
+func (r *Ring[Req, Resp]) Slots() int { return r.slots }
+
+// Inflight reports slots currently in use.
+func (r *Ring[Req, Resp]) Inflight() int { return r.used }
+
+// Full reports whether a request push would block.
+func (r *Ring[Req, Resp]) Full() bool { return r.used >= r.slots }
+
+// Broken reports whether the ring has been disconnected.
+func (r *Ring[Req, Resp]) Broken() bool { return r.broken }
+
+// Break disconnects the ring: all blocked parties wake and every subsequent
+// operation fails. Used when a backend microreboots or a domain dies.
+func (r *Ring[Req, Resp]) Break() {
+	if r.broken {
+		return
+	}
+	r.broken = true
+	r.reqSig.Broadcast()
+	r.respSig.Broadcast()
+	r.spaceSig.Broadcast()
+}
+
+// Reset restores a broken ring to an empty connected state. The reconnection
+// handshake (regranting the ring page, rebinding the event channel) is the
+// drivers' job; Reset models the fresh ring page that results.
+func (r *Ring[Req, Resp]) Reset() {
+	r.broken = false
+	r.used = 0
+	r.reqs = nil
+	r.resps = nil
+}
+
+// errBroken is the error returned on a disconnected ring.
+func (r *Ring[Req, Resp]) errBroken(op string) error {
+	return fmt.Errorf("ring: %s on broken ring: %w", op, xtypes.ErrShutdown)
+}
+
+// PushRequest places a request on the ring, blocking p while the ring is
+// full. It fails if the ring breaks while waiting.
+func (r *Ring[Req, Resp]) PushRequest(p *sim.Proc, req Req) error {
+	for r.used >= r.slots {
+		if r.broken {
+			return r.errBroken("push-request")
+		}
+		r.spaceSig.Wait(p)
+	}
+	if r.broken {
+		return r.errBroken("push-request")
+	}
+	r.used++
+	r.reqs = append(r.reqs, req)
+	r.reqSig.Broadcast()
+	if r.NotifyBack != nil {
+		r.NotifyBack()
+	}
+	return nil
+}
+
+// TryPushRequest is PushRequest without blocking; ok is false if full/broken.
+func (r *Ring[Req, Resp]) TryPushRequest(req Req) bool {
+	if r.broken || r.used >= r.slots {
+		return false
+	}
+	r.used++
+	r.reqs = append(r.reqs, req)
+	r.reqSig.Broadcast()
+	if r.NotifyBack != nil {
+		r.NotifyBack()
+	}
+	return true
+}
+
+// PopRequest removes the next request, blocking p while none are queued.
+func (r *Ring[Req, Resp]) PopRequest(p *sim.Proc) (Req, error) {
+	var zero Req
+	for len(r.reqs) == 0 {
+		if r.broken {
+			return zero, r.errBroken("pop-request")
+		}
+		r.reqSig.Wait(p)
+	}
+	req := r.reqs[0]
+	r.reqs = r.reqs[1:]
+	return req, nil
+}
+
+// TryPopRequest removes the next request without blocking.
+func (r *Ring[Req, Resp]) TryPopRequest() (Req, bool) {
+	var zero Req
+	if r.broken || len(r.reqs) == 0 {
+		return zero, false
+	}
+	req := r.reqs[0]
+	r.reqs = r.reqs[1:]
+	return req, true
+}
+
+// PushResponse places a response on the ring. The slot stays occupied until
+// the frontend consumes the response. Responses never block: the slot was
+// reserved by the corresponding request.
+func (r *Ring[Req, Resp]) PushResponse(resp Resp) error {
+	if r.broken {
+		return r.errBroken("push-response")
+	}
+	r.resps = append(r.resps, resp)
+	r.respSig.Broadcast()
+	if r.NotifyFront != nil {
+		r.NotifyFront()
+	}
+	return nil
+}
+
+// PopResponse removes the next response, blocking p while none are queued,
+// and frees the slot.
+func (r *Ring[Req, Resp]) PopResponse(p *sim.Proc) (Resp, error) {
+	var zero Resp
+	for len(r.resps) == 0 {
+		if r.broken {
+			return zero, r.errBroken("pop-response")
+		}
+		r.respSig.Wait(p)
+	}
+	resp := r.resps[0]
+	r.resps = r.resps[1:]
+	r.used--
+	r.spaceSig.Broadcast()
+	return resp, nil
+}
+
+// TryPopResponse removes the next response without blocking.
+func (r *Ring[Req, Resp]) TryPopResponse() (Resp, bool) {
+	var zero Resp
+	if len(r.resps) == 0 {
+		return zero, false
+	}
+	resp := r.resps[0]
+	r.resps = r.resps[1:]
+	r.used--
+	r.spaceSig.Broadcast()
+	return resp, true
+}
+
+// PendingRequests reports queued, un-popped requests.
+func (r *Ring[Req, Resp]) PendingRequests() int { return len(r.reqs) }
+
+// PendingResponses reports queued, un-popped responses.
+func (r *Ring[Req, Resp]) PendingResponses() int { return len(r.resps) }

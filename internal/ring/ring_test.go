@@ -1,0 +1,231 @@
+package ring
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+type req struct{ id int }
+type resp struct{ id int }
+
+func TestRequestResponseRoundTrip(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 8)
+	var got []int
+	env.Spawn("backend", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			rq, err := r.PopRequest(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(sim.Millisecond) // service time
+			r.PushResponse(resp{id: rq.id})
+		}
+	})
+	env.Spawn("frontend", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if err := r.PushRequest(p, req{id: i}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for i := 0; i < 3; i++ {
+			rs, err := r.PopResponse(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, rs.id)
+		}
+	})
+	env.RunAll()
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("responses = %v", got)
+	}
+	if r.Inflight() != 0 {
+		t.Fatalf("inflight = %d", r.Inflight())
+	}
+}
+
+func TestSlotDiscipline(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 2)
+	env.Spawn("test", func(p *sim.Proc) {
+		if !r.TryPushRequest(req{1}) || !r.TryPushRequest(req{2}) {
+			t.Error("pushes failed")
+		}
+		if r.TryPushRequest(req{3}) {
+			t.Error("push into full ring succeeded")
+		}
+		if !r.Full() {
+			t.Error("ring should be full")
+		}
+		// Backend pops a request: slot is still held (response pending).
+		if _, ok := r.TryPopRequest(); !ok {
+			t.Error("pop failed")
+		}
+		if r.TryPushRequest(req{3}) {
+			t.Error("slot freed too early: response not yet consumed")
+		}
+		r.PushResponse(resp{1})
+		if _, ok := r.TryPopResponse(); !ok {
+			t.Error("pop response failed")
+		}
+		// Now one slot is free.
+		if !r.TryPushRequest(req{3}) {
+			t.Error("push after slot free failed")
+		}
+	})
+	env.RunAll()
+}
+
+func TestPushBlocksUntilSpace(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 1)
+	var pushedAt sim.Time
+	env.Spawn("frontend", func(p *sim.Proc) {
+		r.PushRequest(p, req{1})
+		if err := r.PushRequest(p, req{2}); err != nil { // blocks
+			t.Error(err)
+		}
+		pushedAt = p.Now()
+	})
+	env.Spawn("backend", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Millisecond)
+		rq, _ := r.TryPopRequest()
+		r.PushResponse(resp{rq.id})
+	})
+	env.Spawn("reaper", func(p *sim.Proc) {
+		r.PopResponse(p)
+	})
+	env.RunAll()
+	if pushedAt != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("second push completed at %v", pushedAt)
+	}
+}
+
+func TestNotifyHooks(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 4)
+	backNotified, frontNotified := 0, 0
+	r.NotifyBack = func() { backNotified++ }
+	r.NotifyFront = func() { frontNotified++ }
+	env.Spawn("test", func(p *sim.Proc) {
+		r.TryPushRequest(req{1})
+		r.PushRequest(p, req{2})
+		r.TryPopRequest()
+		r.TryPopRequest()
+		r.PushResponse(resp{1})
+		r.PushResponse(resp{2})
+	})
+	env.RunAll()
+	if backNotified != 2 || frontNotified != 2 {
+		t.Fatalf("notifies back=%d front=%d", backNotified, frontNotified)
+	}
+}
+
+func TestBreakWakesAndFailsAll(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 1)
+	var popErr, pushErr error
+	env.Spawn("blockedPop", func(p *sim.Proc) {
+		_, popErr = r.PopRequest(p)
+	})
+	env.Spawn("filler", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		// Fill the ring so the next push blocks. The queued request is
+		// consumed by blockedPop, but its slot stays held.
+		r.TryPushRequest(req{0})
+		r.TryPushRequest(req{0})
+	})
+	env.Spawn("blockedPush", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Millisecond)
+		pushErr = r.PushRequest(p, req{1})
+	})
+	env.Spawn("breaker", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+		r.Break()
+	})
+	env.RunAll()
+	// blockedPop actually received the filler's request, so it may have
+	// succeeded; the blocked push must fail.
+	if pushErr == nil || !errors.Is(pushErr, xtypes.ErrShutdown) {
+		t.Fatalf("push on broken ring: %v", pushErr)
+	}
+	_ = popErr
+	if !r.Broken() {
+		t.Fatal("ring not broken")
+	}
+	if _, ok := r.TryPopRequest(); ok {
+		t.Fatal("pop on broken ring succeeded")
+	}
+}
+
+func TestResetRestoresService(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 2)
+	env.Spawn("test", func(p *sim.Proc) {
+		r.TryPushRequest(req{1})
+		r.Break()
+		r.Reset()
+		if r.Broken() || r.Inflight() != 0 {
+			t.Error("reset did not clear state")
+		}
+		if !r.TryPushRequest(req{2}) {
+			t.Error("push after reset failed")
+		}
+		rq, ok := r.TryPopRequest()
+		if !ok || rq.id != 2 {
+			t.Errorf("pop after reset = %+v %v", rq, ok)
+		}
+	})
+	env.RunAll()
+}
+
+// Property: for any interleaving of pushes and pops, in-flight slot count
+// equals pushes minus consumed responses and never exceeds capacity.
+func TestSlotAccountingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		env := sim.NewEnv(1)
+		r := New[req, resp](env, 4)
+		pushed, popped, responded, consumed := 0, 0, 0, 0
+		okAll := true
+		env.Spawn("driver", func(p *sim.Proc) {
+			for _, op := range ops {
+				switch op % 4 {
+				case 0:
+					if r.TryPushRequest(req{pushed}) {
+						pushed++
+					}
+				case 1:
+					if _, ok := r.TryPopRequest(); ok {
+						popped++
+					}
+				case 2:
+					if responded < popped {
+						r.PushResponse(resp{responded})
+						responded++
+					}
+				case 3:
+					if _, ok := r.TryPopResponse(); ok {
+						consumed++
+					}
+				}
+				if r.Inflight() != pushed-consumed || r.Inflight() > r.Slots() {
+					okAll = false
+					return
+				}
+			}
+		})
+		env.RunAll()
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package seceval implements the paper's security evaluation (§2.2.1,
+// §6.2): an encoded registry of the 44 studied vulnerabilities and a
+// containment analyzer that computes each attack's blast radius from the
+// platform's *actual* privilege state — hypercall whitelists, shard-client
+// links, privileged-for flags and foreign-mapping rights — rather than
+// asserting the paper's numbers.
+package seceval
+
+import "fmt"
+
+// Vector classifies where a vulnerability lives, following the paper's
+// attack-vector taxonomy.
+type Vector uint8
+
+const (
+	VecDeviceEmulation Vector = iota // QEMU device model
+	VecVirtualDevice                 // paravirtual backend (NetBack/BlkBack)
+	VecToolstack                     // management toolstack
+	VecManagement                    // other management components in the control VM
+	VecXenStore                      // XenStore write-access bugs
+	VecDebugRegs                     // debug-register handling
+	VecHypervisor                    // Xen itself
+)
+
+func (v Vector) String() string {
+	switch v {
+	case VecDeviceEmulation:
+		return "device-emulation"
+	case VecVirtualDevice:
+		return "virtual-device"
+	case VecToolstack:
+		return "toolstack"
+	case VecManagement:
+		return "management"
+	case VecXenStore:
+		return "xenstore"
+	case VecDebugRegs:
+		return "debug-registers"
+	default:
+		return "hypervisor"
+	}
+}
+
+// Class is the vulnerability's effect.
+type Class uint8
+
+const (
+	ClassCodeExec Class = iota // buffer overflow, arbitrary code execution
+	ClassDoS                   // denial of service
+)
+
+func (c Class) String() string {
+	if c == ClassCodeExec {
+		return "code-execution"
+	}
+	return "denial-of-service"
+}
+
+// Source is where the attack originates.
+type Source uint8
+
+const (
+	SrcGuest    Source = iota // from within a hosted guest VM (the threat model)
+	SrcAdminNet               // from the administrative network
+	SrcHost                   // requires host/Type-2 access (excluded by the threat model)
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcGuest:
+		return "guest"
+	case SrcAdminNet:
+		return "admin-network"
+	default:
+		return "host"
+	}
+}
+
+// Vuln is one registry entry.
+type Vuln struct {
+	ID     string
+	Source Source
+	Class  Class
+	Vector Vector
+	// FixedInVersion marks bugs already patched in the platform release the
+	// paper (and this model) runs — the two XenStore write bugs (§6.2.1).
+	FixedInVersion bool
+	Note           string
+}
+
+// Registry returns all 44 studied vulnerabilities (§2.2.1). The 23
+// guest-sourced entries follow the evaluation section's decomposition
+// (§6.2.1): 7 device emulation, 6 virtualized device, 1 toolstack, 4 other
+// management, 2 debug-register, 2 XenStore, 1 hypervisor; 12 of them are
+// code-execution bugs and 11 denial-of-service. The remaining 21 entries are
+// admin-network or host-sourced reports outside the guest threat model.
+// (§2.2.1 aggregates the emulation/virtual-device counts differently —
+// 14/4 — an inconsistency internal to the thesis; we follow the evaluation
+// section, which is what the containment results are stated against.)
+func Registry() []Vuln {
+	var vs []Vuln
+	add := func(n int, src Source, class Class, vec Vector, fixed bool, note string) {
+		for i := 0; i < n; i++ {
+			vs = append(vs, Vuln{
+				ID:             fmt.Sprintf("XVR-%03d", len(vs)+1),
+				Source:         src,
+				Class:          class,
+				Vector:         vec,
+				FixedInVersion: fixed,
+				Note:           note,
+			})
+		}
+	}
+	// Guest-sourced, code-execution (12):
+	add(5, SrcGuest, ClassCodeExec, VecDeviceEmulation, false, "emulated device buffer overflow")
+	add(3, SrcGuest, ClassCodeExec, VecVirtualDevice, false, "PV backend request validation")
+	add(1, SrcGuest, ClassCodeExec, VecToolstack, false, "toolstack parsing of guest data")
+	add(2, SrcGuest, ClassCodeExec, VecDebugRegs, false, "debug register state corruption")
+	add(1, SrcGuest, ClassCodeExec, VecHypervisor, false, "exploit in the security extensions")
+	// Guest-sourced, denial-of-service (11):
+	add(2, SrcGuest, ClassDoS, VecDeviceEmulation, false, "emulated device crash")
+	add(3, SrcGuest, ClassDoS, VecVirtualDevice, false, "PV backend resource exhaustion")
+	add(4, SrcGuest, ClassDoS, VecManagement, false, "management component hang")
+	add(2, SrcGuest, ClassDoS, VecXenStore, true, "XenStore write-access bug (fixed in this release)")
+	// Non-guest-sourced reports (21), excluded by the threat model:
+	add(12, SrcHost, ClassCodeExec, VecDeviceEmulation, false, "Type-2 host-OS path")
+	add(5, SrcAdminNet, ClassCodeExec, VecManagement, false, "administrative interface")
+	add(4, SrcAdminNet, ClassDoS, VecManagement, false, "administrative interface")
+	return vs
+}
+
+// GuestSourced filters the registry to the threat model's 23 entries.
+func GuestSourced() []Vuln {
+	var out []Vuln
+	for _, v := range Registry() {
+		if v.Source == SrcGuest {
+			out = append(out, v)
+		}
+	}
+	return out
+}

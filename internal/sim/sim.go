@@ -1,0 +1,353 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives cooperative processes: each process is a goroutine, but
+// exactly one process runs at any moment. A process yields control by
+// sleeping, waiting on a synchronization primitive, or terminating; the
+// scheduler then advances the virtual clock to the next pending event and
+// resumes its owner. Because execution is serialized and the event queue is
+// ordered by (time, sequence), every run with the same seed is bit-for-bit
+// reproducible.
+//
+// The rest of the repository models a virtualization platform on top of this
+// kernel: virtual machines, device backends, and workloads are all sim
+// processes, and throughput/latency results arise from their interleaving on
+// the virtual clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point on the virtual clock, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants so model code reads
+// naturally without importing the real time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports the duration as a floating-point number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%dµs", int64(d)/int64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds reports the instant as a floating-point number of seconds since
+// simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two instants.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled resumption of a process or a callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break so equal-time events fire in schedule order
+	proc *Proc  // process to resume (nil for fn events)
+	fn   func() // callback to invoke (nil for proc events)
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and the
+// set of processes driven by them. An Env is not safe for concurrent use by
+// real OS threads; all model code runs inside sim processes.
+type Env struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	procs   map[*Proc]struct{}
+	lastEv  string
+	trace   func(TraceEvent)
+	running *Proc // process currently executing, nil when scheduler runs
+	nextID  int
+
+	// yield is signalled by the running process when it blocks or exits.
+	yield chan struct{}
+
+	stopped bool
+}
+
+// NewEnv returns a fresh environment whose random source is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// schedule enqueues an event at absolute time at.
+func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run after delay d. The returned cancel function
+// removes the callback if it has not fired yet.
+func (e *Env) After(d Duration, fn func()) (cancel func()) {
+	ev := e.schedule(e.now.Add(d), nil, fn)
+	return func() { ev.canceled = true }
+}
+
+// Proc is a cooperative simulation process.
+type Proc struct {
+	env    *Env
+	name   string
+	id     int
+	resume chan struct{}
+	done   bool
+	killed bool
+	// doneWatchers are signalled when the process terminates.
+	doneSig *Signal
+}
+
+// Spawn starts a new process running fn. fn begins executing at the current
+// virtual time, after the currently running process next yields.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextID++
+	p := &Proc{
+		env:    e,
+		name:   name,
+		id:     e.nextID,
+		resume: make(chan struct{}),
+	}
+	p.doneSig = NewSignal(e)
+	e.procs[p] = struct{}{}
+	e.emitTrace("spawn", name)
+	go func() {
+		<-p.resume // wait for first scheduling
+		if !p.killed {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(procKilled); ok {
+							return // normal termination via Kill
+						}
+						panic(r)
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.done = true
+		delete(e.procs, p)
+		p.doneSig.Broadcast()
+		e.yield <- struct{}{}
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// procKilled is the panic payload used to unwind a killed process.
+type procKilled struct{}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Done reports whether the process has terminated.
+func (p *Proc) Done() bool { return p.done }
+
+// block suspends the calling process until the scheduler resumes it.
+// Must only be called from within the process's own goroutine.
+func (p *Proc) block() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Duration) {
+	p.env.schedule(p.env.now.Add(d), p, nil)
+	p.block()
+}
+
+// Yield relinquishes the processor without advancing time; other processes
+// scheduled at the current instant run before this one resumes.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill terminates the target process the next time it would run. A process
+// must not kill itself; it should simply return instead.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	p.env.emitTrace("kill", p.name)
+	// Schedule a resumption so the goroutine unwinds promptly.
+	p.env.schedule(p.env.now, p, nil)
+}
+
+// WaitDone blocks the calling process until target terminates.
+func (p *Proc) WaitDone(target *Proc) {
+	for !target.done {
+		target.doneSig.Wait(p)
+	}
+}
+
+// peekLive discards stale events — canceled timers and wakeups for finished
+// processes — from the heap root and returns the next live event without
+// removing it, or nil when the queue is drained. Run and step must agree on
+// the live root: skipping stale events only at pop time once let a
+// deadline-bounded Run execute an event beyond its deadline.
+func (e *Env) peekLive() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.canceled || (ev.proc != nil && ev.proc.done) {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// step runs the next live event from the queue. It reports false when the
+// queue is exhausted.
+func (e *Env) step() bool {
+	ev := e.peekLive()
+	if ev == nil {
+		return false
+	}
+	heap.Pop(&e.queue)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	if ev.fn != nil {
+		e.lastEv = "fn-callback"
+		e.emitTrace("callback", "")
+		ev.fn()
+		return true
+	}
+	p := ev.proc
+	e.lastEv = p.name
+	e.emitTrace("resume", p.name)
+	e.running = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.running = nil
+	return true
+}
+
+// Run processes events until the queue is empty or the virtual clock would
+// pass until. It returns the virtual time at which it stopped.
+func (e *Env) Run(until Time) Time {
+	for {
+		ev := e.peekLive()
+		if ev == nil {
+			break
+		}
+		if ev.at > until {
+			e.now = until
+			return e.now
+		}
+		e.step()
+		if e.now > until {
+			panic(fmt.Sprintf("sim: clock overran Run(until=%d): now=%d lastEv=%q", until, e.now, e.lastEv))
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunFor processes events for up to duration d of virtual time from now.
+func (e *Env) RunFor(d Duration) Time { return e.Run(e.now.Add(d)) }
+
+// RunAll processes events until no more remain. Processes blocked forever on
+// empty channels are abandoned (their goroutines are killed).
+func (e *Env) RunAll() Time {
+	for e.step() {
+	}
+	return e.now
+}
+
+// Shutdown kills every live process so their goroutines exit. Call when a
+// simulation ends with processes still blocked (e.g. servers in accept
+// loops); it keeps long test runs from accumulating goroutines.
+func (e *Env) Shutdown() {
+	// Kill in a stable order for determinism.
+	procs := make([]*Proc, 0, len(e.procs))
+	for p := range e.procs {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	for _, p := range procs {
+		p.Kill()
+	}
+	for e.step() {
+	}
+	e.stopped = true
+}
+
+// LiveProcs returns the number of processes that have started but not
+// terminated. Used by tests to detect leaks.
+func (e *Env) LiveProcs() int { return len(e.procs) }

@@ -1,0 +1,240 @@
+package sim
+
+// Signal is a broadcast condition variable for sim processes. Waiters block
+// until the next Broadcast; there is no stored state, so callers must re-check
+// their predicate in a loop, exactly as with sync.Cond.
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait blocks p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Broadcast wakes every process currently waiting. The wakeups are scheduled
+// at the current instant in FIFO order.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		if !w.done {
+			s.env.schedule(s.env.now, w, nil)
+		}
+	}
+}
+
+// Chan is an unbounded FIFO queue carrying values between sim processes.
+// Receives block while the queue is empty; sends never block.
+type Chan[T any] struct {
+	env    *Env
+	items  []T
+	sig    *Signal
+	closed bool
+}
+
+// NewChan returns an empty queue bound to env.
+func NewChan[T any](env *Env) *Chan[T] {
+	return &Chan[T]{env: env, sig: NewSignal(env)}
+}
+
+// Send enqueues v and wakes any blocked receivers. Sending on a closed
+// channel panics, mirroring Go channel semantics.
+func (c *Chan[T]) Send(v T) {
+	if c.closed {
+		panic("sim: send on closed Chan")
+	}
+	c.items = append(c.items, v)
+	c.sig.Broadcast()
+}
+
+// Close marks the channel closed; blocked and future receivers observe
+// ok == false once the queue drains.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.sig.Broadcast()
+}
+
+// Recv dequeues the next value, blocking p while the queue is empty. It
+// returns ok == false when the channel is closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	for len(c.items) == 0 {
+		if c.closed {
+			var zero T
+			return zero, false
+		}
+		c.sig.Wait(p)
+	}
+	v = c.items[0]
+	c.items = c.items[1:]
+	return v, true
+}
+
+// TryRecv dequeues the next value without blocking. ok is false when the
+// queue is empty.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = c.items[0]
+	c.items = c.items[1:]
+	return v, true
+}
+
+// RecvTimeout dequeues the next value, giving up after d. ok is false on
+// timeout or close.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool) {
+	deadline := p.env.now.Add(d)
+	timedOut := false
+	cancel := p.env.After(d, func() {
+		timedOut = true
+		c.sig.Broadcast() // wake the waiter so it re-checks
+	})
+	defer cancel()
+	for len(c.items) == 0 {
+		if c.closed {
+			var zero T
+			return zero, false
+		}
+		if timedOut || p.env.now >= deadline {
+			var zero T
+			return zero, false
+		}
+		c.sig.Wait(p)
+	}
+	v = c.items[0]
+	c.items = c.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued values.
+func (c *Chan[T]) Len() int { return len(c.items) }
+
+// Resource models a server with fixed capacity (a CPU, a disk arm, a bus).
+// Acquire blocks while all slots are busy; requests are served FIFO, which
+// under small work quanta approximates processor sharing closely enough for
+// the throughput experiments.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	sig      *Signal
+
+	// busy accumulates total busy slot-time for utilization reporting.
+	busy      Duration
+	lastCheck Time
+}
+
+// NewResource returns a resource with the given number of slots.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, capacity: capacity, sig: NewSignal(env)}
+}
+
+func (r *Resource) account() {
+	now := r.env.now
+	r.busy += Duration(int64(now-r.lastCheck) * int64(r.inUse))
+	r.lastCheck = now
+}
+
+// Acquire blocks p until a slot is free, then claims it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.sig.Wait(p)
+	}
+	r.account()
+	r.inUse++
+}
+
+// Release frees a slot claimed by Acquire.
+func (r *Resource) Release() {
+	if r.inUse == 0 {
+		panic("sim: release of idle resource")
+	}
+	r.account()
+	r.inUse--
+	r.sig.Broadcast()
+}
+
+// Use occupies one slot for duration d: acquire, hold, release. The release
+// is deferred so a process killed while holding the slot (a driver pump torn
+// down mid-transfer by a microreboot) does not leak it.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	defer r.Release()
+	p.Sleep(d)
+}
+
+// UseChunked occupies one slot for total duration d, but releases and
+// re-acquires the slot every quantum so competing users interleave. This is
+// how vCPUs share a physical CPU in the platform model.
+func (r *Resource) UseChunked(p *Proc, d, quantum Duration) {
+	if quantum <= 0 {
+		quantum = Millisecond
+	}
+	for d > 0 {
+		step := d
+		if step > quantum {
+			step = quantum
+		}
+		r.Use(p, step)
+		d -= step
+		if d > 0 {
+			// Let processes woken by the release acquire the slot before we
+			// re-acquire it; otherwise one user would monopolize the resource.
+			p.Yield()
+		}
+	}
+}
+
+// InUse reports the number of currently held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// BusyTime reports accumulated busy slot-time.
+func (r *Resource) BusyTime() Duration {
+	r.account()
+	return r.busy
+}
+
+// Gate is a binary latch: processes wait until it opens. Once opened it stays
+// open and waiters pass immediately. Used for "device ready" conditions.
+type Gate struct {
+	open bool
+	sig  *Signal
+}
+
+// NewGate returns a closed gate bound to env.
+func NewGate(env *Env) *Gate { return &Gate{sig: NewSignal(env)} }
+
+// Open opens the gate and releases all waiters.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.sig.Broadcast()
+}
+
+// Closed reports whether the gate has not yet opened.
+func (g *Gate) Closed() bool { return !g.open }
+
+// Reset closes the gate again; subsequent waiters block until the next Open.
+func (g *Gate) Reset() { g.open = false }
+
+// Wait blocks p until the gate opens.
+func (g *Gate) Wait(p *Proc) {
+	for !g.open {
+		g.sig.Wait(p)
+	}
+}

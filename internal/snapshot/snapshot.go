@@ -1,0 +1,202 @@
+// Package snapshot implements the microreboot engine of §3.3: components
+// snapshot themselves once booted and initialized, and a restart controller
+// rolls them back to that image on a configurable policy — on a timer for
+// driver domains, or after every request for XenStore-Logic (Figure 5.1).
+//
+// The engine separates mechanism from component knowledge: each restartable
+// component implements Restartable and performs its own device reinit and
+// ring renegotiation inside Restart; the engine drives the schedule, issues
+// the hypervisor rollback, and accounts downtime.
+package snapshot
+
+import (
+	"fmt"
+
+	"xoar/internal/hv"
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+// PolicyKind selects when a component microreboots.
+type PolicyKind uint8
+
+const (
+	// PolicyNone disables restarts.
+	PolicyNone PolicyKind = iota
+	// PolicyTimer restarts at a fixed interval.
+	PolicyTimer
+	// PolicyPerRequest restarts after every request the component serves;
+	// the component calls Engine.RequestRestart itself.
+	PolicyPerRequest
+)
+
+// Policy configures a component's restart behaviour.
+type Policy struct {
+	Kind     PolicyKind
+	Interval sim.Duration
+	// Fast selects the optimized restart path: device hardware state is left
+	// intact and negotiated configuration is restored from the recovery box
+	// rather than renegotiated via XenStore (Figure 6.3's "fast" mode).
+	Fast bool
+}
+
+// Restartable is a component the engine can microreboot.
+type Restartable interface {
+	// Dom is the domain the component runs in.
+	Dom() xtypes.DomID
+	// Name identifies the component in stats and logs.
+	Name() string
+	// Restart performs the component's rollback-and-recover sequence. The
+	// engine has already issued the memory rollback; Restart does device
+	// reinit and connection renegotiation and returns when the component is
+	// serving again.
+	Restart(p *sim.Proc, fast bool)
+}
+
+// Stats accumulates restart accounting for one component.
+type Stats struct {
+	Restarts      int
+	TotalDowntime sim.Duration
+	LastDowntime  sim.Duration
+	PagesRestored int
+	// Errors counts restart attempts the hypervisor refused (no snapshot,
+	// missing privilege). A non-zero value means the policy is misconfigured.
+	Errors int
+}
+
+// Engine is the restart controller. It runs with Builder-level privileges
+// (it must invoke VMRollback on other domains), which is why it lives beside
+// the Builder in the trust analysis.
+type Engine struct {
+	hv     *hv.Hypervisor
+	caller xtypes.DomID // domain identity the engine acts as
+
+	entries map[xtypes.DomID]*entry
+}
+
+type entry struct {
+	comp   Restartable
+	policy Policy
+	stats  Stats
+	timer  *sim.Proc
+	// restarting guards against overlapping restarts.
+	restarting bool
+}
+
+// NewEngine returns an engine acting with the identity caller (the Builder
+// domain, or hv.SystemCaller in tests).
+func NewEngine(h *hv.Hypervisor, caller xtypes.DomID) *Engine {
+	return &Engine{hv: h, caller: caller, entries: make(map[xtypes.DomID]*entry)}
+}
+
+// Manage registers a component under a policy. With PolicyTimer a timer
+// process is spawned immediately.
+func (e *Engine) Manage(c Restartable, policy Policy) error {
+	if _, ok := e.entries[c.Dom()]; ok {
+		return fmt.Errorf("snapshot: %v already managed: %w", c.Dom(), xtypes.ErrExists)
+	}
+	ent := &entry{comp: c, policy: policy}
+	e.entries[c.Dom()] = ent
+	if policy.Kind == PolicyTimer {
+		ent.timer = e.hv.Env.Spawn("restart-timer-"+c.Name(), func(p *sim.Proc) {
+			for {
+				p.Sleep(policy.Interval)
+				if _, ok := e.entries[c.Dom()]; !ok {
+					return
+				}
+				e.restart(p, ent)
+			}
+		})
+	}
+	return nil
+}
+
+// Unmanage stops restarting a component.
+func (e *Engine) Unmanage(dom xtypes.DomID) {
+	ent, ok := e.entries[dom]
+	if !ok {
+		return
+	}
+	if ent.timer != nil {
+		ent.timer.Kill()
+	}
+	delete(e.entries, dom)
+}
+
+// SetPolicy replaces a component's policy, restarting the timer process.
+// The administrator tunes this to trade security for performance (§6.1.2).
+func (e *Engine) SetPolicy(dom xtypes.DomID, policy Policy) error {
+	ent, ok := e.entries[dom]
+	if !ok {
+		return fmt.Errorf("snapshot: %v not managed: %w", dom, xtypes.ErrNotFound)
+	}
+	comp := ent.comp
+	e.Unmanage(dom)
+	// Preserve accumulated stats across the policy change.
+	stats := ent.stats
+	if err := e.Manage(comp, policy); err != nil {
+		return err
+	}
+	e.entries[dom].stats = stats
+	return nil
+}
+
+// RequestRestart triggers an immediate restart from the calling process —
+// the per-request policy hook used by XenStore-Logic.
+func (e *Engine) RequestRestart(p *sim.Proc, dom xtypes.DomID) error {
+	ent, ok := e.entries[dom]
+	if !ok {
+		return fmt.Errorf("snapshot: %v not managed: %w", dom, xtypes.ErrNotFound)
+	}
+	e.restart(p, ent)
+	return nil
+}
+
+// restart performs one microreboot cycle: memory rollback, then the
+// component's own recovery. Downtime is measured from rollback start to the
+// component reporting ready.
+func (e *Engine) restart(p *sim.Proc, ent *entry) {
+	if ent.restarting {
+		return
+	}
+	ent.restarting = true
+	defer func() { ent.restarting = false }()
+
+	start := p.Now()
+	// Rollback cost: proportional to the dirty page set, at copy-on-write
+	// restore speed (~1µs per 4K page: a memcpy at memory bandwidth).
+	dom, err := e.hv.Domain(ent.comp.Dom())
+	if err != nil {
+		return
+	}
+	dirty := dom.Mem.DirtyPages()
+	restored, err := e.hv.VMRollback(e.caller, ent.comp.Dom())
+	if err != nil {
+		ent.stats.Errors++
+		return
+	}
+	p.Sleep(sim.Duration(dirty+1) * sim.Microsecond)
+	ent.comp.Restart(p, ent.policy.Fast)
+	ent.stats.Restarts++
+	ent.stats.PagesRestored += restored
+	ent.stats.LastDowntime = p.Now().Sub(start)
+	ent.stats.TotalDowntime += ent.stats.LastDowntime
+}
+
+// Stats reports a component's accumulated restart accounting.
+func (e *Engine) Stats(dom xtypes.DomID) (Stats, bool) {
+	ent, ok := e.entries[dom]
+	if !ok {
+		return Stats{}, false
+	}
+	return ent.stats, true
+}
+
+// Managed lists the domains under restart management.
+func (e *Engine) Managed() []xtypes.DomID {
+	out := make([]xtypes.DomID, 0, len(e.entries))
+	for d := range e.entries {
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,441 @@
+// Package toolstack implements the management Toolstack shard (§4.6, §5.6):
+// a libxl-flavoured VM manager. A Toolstack creates guests by passing
+// parameters to the Builder, wires devices by selecting among the driver
+// shards *delegated to it*, enforces sharing-constraint groups (§3.2.1) and
+// resource quotas (§3.4.2), and manages only the VMs it built — the
+// hypervisor audits every management call against the parent-toolstack flag.
+package toolstack
+
+import (
+	"fmt"
+
+	"xoar/internal/blkdrv"
+	"xoar/internal/builder"
+	"xoar/internal/consolemgr"
+	"xoar/internal/hv"
+	"xoar/internal/netdrv"
+	"xoar/internal/qemudm"
+	"xoar/internal/sim"
+	"xoar/internal/xenstore"
+	"xoar/internal/xtypes"
+)
+
+// GuestConfig describes a guest VM to create.
+type GuestConfig struct {
+	Name  string
+	Image string
+	// CustomKernel routes the build through the bootloader (§5.2).
+	CustomKernel bool
+	MemMB        int
+	VCPUs        int
+	DiskMB       int
+	// Net / Disk select whether to attach a vif / vbd.
+	Net  bool
+	Disk bool
+	// ConstraintTag restricts shard sharing: shards serving this guest may
+	// only be shared with guests carrying the same tag (§3.2.1). Empty means
+	// unconstrained.
+	ConstraintTag string
+	// HVM runs an unmodified guest: its devices are emulated by a dedicated
+	// QemuVM stub domain (§4.5.2), which forwards I/O through its own PV
+	// frontends. PV device flags (Net/Disk) then wire the QemuVM, not the
+	// guest, to the driver shards.
+	HVM bool
+}
+
+// Guest is the Toolstack's record of a VM it manages.
+type Guest struct {
+	Dom  xtypes.DomID
+	Cfg  GuestConfig
+	Net  *netdrv.Frontend
+	Blk  *blkdrv.Frontend
+	NetB *netdrv.Backend
+	BlkB *blkdrv.Backend
+	// Qemu is the per-guest device model for HVM guests (nil for PV).
+	Qemu *qemudm.QemuVM
+	// QemuDom is the stub domain hosting Qemu.
+	QemuDom xtypes.DomID
+}
+
+// Quota bounds a Toolstack's resource usage (§3.4.2).
+type Quota struct {
+	MaxVMs   int
+	MaxMemMB int
+}
+
+// Toolstack is one management domain.
+type Toolstack struct {
+	H       *hv.Hypervisor
+	Dom     xtypes.DomID
+	XS      *xenstore.Logic
+	Builder *builder.Builder
+	Console *consolemgr.Manager
+
+	// Delegated driver shards this Toolstack may use (§5.6: "A Toolstack can
+	// only use shards that have been delegated to it").
+	NetBacks []*netdrv.Backend
+	BlkBacks []*blkdrv.Backend
+
+	// constraints tracks the tag each shard is currently dedicated to.
+	// The tag locks on first tagged client and clears when unused.
+	constraints map[xtypes.DomID]string
+	clientCount map[xtypes.DomID]int
+
+	quota  Quota
+	guests map[xtypes.DomID]*Guest
+	usedMB int
+
+	Created   int
+	Destroyed int
+}
+
+// New constructs a Toolstack in domain dom.
+func New(h *hv.Hypervisor, dom xtypes.DomID, xs *xenstore.Logic, b *builder.Builder) *Toolstack {
+	return &Toolstack{
+		H:           h,
+		Dom:         dom,
+		XS:          xs,
+		Builder:     b,
+		constraints: make(map[xtypes.DomID]string),
+		clientCount: make(map[xtypes.DomID]int),
+		quota:       Quota{MaxVMs: 64, MaxMemMB: 1 << 20},
+		guests:      make(map[xtypes.DomID]*Guest),
+	}
+}
+
+// SetQuota replaces the toolstack's resource quota.
+func (ts *Toolstack) SetQuota(q Quota) { ts.quota = q }
+
+// Guests lists managed guests in creation order (by DomID).
+func (ts *Toolstack) Guests() []*Guest {
+	var out []*Guest
+	for id := xtypes.DomID(0); int(id) < 1<<20 && len(out) < len(ts.guests); id++ {
+		if g, ok := ts.guests[id]; ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// pickShard selects a delegated shard compatible with the guest's constraint
+// tag, locking the shard to that tag. Creation fails rather than violating a
+// constraint (§3.2.1).
+func pickShard[T any](ts *Toolstack, shards []T, domOf func(T) xtypes.DomID, tag string) (T, error) {
+	var zero T
+	if len(shards) == 0 {
+		return zero, fmt.Errorf("toolstack: no delegated shard available: %w", xtypes.ErrNotDelegated)
+	}
+	for _, s := range shards {
+		d := domOf(s)
+		cur, locked := ts.constraints[d]
+		if !locked || cur == tag {
+			if tag != "" {
+				ts.constraints[d] = tag
+			}
+			ts.clientCount[d]++
+			return s, nil
+		}
+	}
+	return zero, fmt.Errorf("toolstack: no shard satisfies constraint %q: %w", tag, xtypes.ErrConstraint)
+}
+
+// releaseShard drops a client and unlocks the tag when unused.
+func (ts *Toolstack) releaseShard(d xtypes.DomID) {
+	if ts.clientCount[d] > 0 {
+		ts.clientCount[d]--
+	}
+	if ts.clientCount[d] == 0 {
+		delete(ts.constraints, d)
+	}
+}
+
+// CreateVM builds and wires a guest.
+func (ts *Toolstack) CreateVM(p *sim.Proc, cfg GuestConfig) (*Guest, error) {
+	if len(ts.guests) >= ts.quota.MaxVMs {
+		return nil, fmt.Errorf("toolstack: VM quota %d: %w", ts.quota.MaxVMs, xtypes.ErrQuota)
+	}
+	memMB := cfg.MemMB
+	if memMB == 0 {
+		memMB = 1024
+	}
+	if ts.usedMB+memMB > ts.quota.MaxMemMB {
+		return nil, fmt.Errorf("toolstack: memory quota: %w", xtypes.ErrQuota)
+	}
+
+	// Select shards first so constraint failures don't leave half-built VMs.
+	var nb *netdrv.Backend
+	var bb *blkdrv.Backend
+	var err error
+	if cfg.Net {
+		nb, err = pickShard(ts, ts.NetBacks, func(b *netdrv.Backend) xtypes.DomID { return b.Dom }, cfg.ConstraintTag)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Disk {
+		bb, err = pickShard(ts, ts.BlkBacks, func(b *blkdrv.Backend) xtypes.DomID { return b.Dom }, cfg.ConstraintTag)
+		if err != nil {
+			if nb != nil {
+				ts.releaseShard(nb.Dom)
+			}
+			return nil, err
+		}
+	}
+
+	dom, err := ts.Builder.Submit(p, builder.Request{
+		Requester:    ts.Dom,
+		Name:         cfg.Name,
+		Image:        cfg.Image,
+		CustomKernel: cfg.CustomKernel,
+		MemMB:        cfg.MemMB,
+		VCPUs:        cfg.VCPUs,
+	})
+	if err != nil {
+		if nb != nil {
+			ts.releaseShard(nb.Dom)
+		}
+		if bb != nil {
+			ts.releaseShard(bb.Dom)
+		}
+		return nil, err
+	}
+
+	g := &Guest{Dom: dom, Cfg: cfg, NetB: nb, BlkB: bb}
+
+	if cfg.HVM {
+		// Build the per-guest device model; the Builder fixes its image and
+		// privileges and checks we are the guest's parent toolstack.
+		qdom, qerr := ts.Builder.Submit(p, builder.Request{
+			Requester: ts.Dom, Name: cfg.Name + "-qemu", QemuFor: dom,
+		})
+		if qerr != nil {
+			return nil, qerr
+		}
+		g.QemuDom = qdom
+		g.Qemu = qemudm.New(ts.H, qdom, dom)
+		// The QemuVM — not the guest — is the driver shards' client; its PV
+		// frontends carry the emulated I/O.
+		wired := &Guest{Dom: qdom, Cfg: GuestConfig{Name: cfg.Name + "-qemu", Net: cfg.Net, Disk: cfg.Disk, DiskMB: cfg.DiskMB}, NetB: nb, BlkB: bb}
+		if err := ts.wireDevices(p, wired); err != nil {
+			return nil, err
+		}
+		g.Qemu.Net = wired.Net
+		g.Qemu.Blk = wired.Blk
+	} else {
+		if err := ts.wireDevices(p, g); err != nil {
+			return nil, err
+		}
+	}
+
+	ts.guests[dom] = g
+	ts.usedMB += memMB
+	ts.Created++
+	return g, nil
+}
+
+// wireDevices links the guest to its selected shards and connects the
+// frontends; shared by CreateVM and Adopt.
+func (ts *Toolstack) wireDevices(p *sim.Proc, g *Guest) error {
+	dom, cfg := g.Dom, g.Cfg
+	guestXS := ts.XS.Connect(dom, false)
+
+	// Wire the network device.
+	if g.NetB != nil {
+		if err := ts.H.LinkShardClient(ts.Dom, g.NetB.Dom, dom); err != nil {
+			return err
+		}
+		g.NetB.CreateVif(dom)
+		g.Net = netdrv.NewFrontend(ts.H, dom, guestXS)
+		if err := g.Net.Connect(p, g.NetB); err != nil {
+			return err
+		}
+	}
+	// Wire the disk: image creation is proxied to BlkBack (§5.4).
+	if g.BlkB != nil {
+		if err := ts.H.LinkShardClient(ts.Dom, g.BlkB.Dom, dom); err != nil {
+			return err
+		}
+		diskMB := cfg.DiskMB
+		if diskMB == 0 {
+			diskMB = 15 * 1024
+		}
+		imgName := fmt.Sprintf("%s-disk", cfg.Name)
+		if err := g.BlkB.CreateImage(imgName, diskMB); err != nil {
+			return err
+		}
+		if err := g.BlkB.CreateVbd(dom, imgName); err != nil {
+			return err
+		}
+		g.Blk = blkdrv.NewFrontend(ts.H, dom, guestXS)
+		if err := g.Blk.Connect(p, g.BlkB); err != nil {
+			return err
+		}
+	}
+	if ts.Console != nil {
+		ts.Console.CreateConsole(dom)
+	}
+	return nil
+}
+
+// Adopt registers an already-running domain — typically one that just
+// arrived via live migration — with this toolstack and wires the devices cfg
+// asks for. The caller must already have made this toolstack the domain's
+// parent; the hypervisor rejects the device linking otherwise.
+func (ts *Toolstack) Adopt(p *sim.Proc, dom xtypes.DomID, cfg GuestConfig) (*Guest, error) {
+	if _, ok := ts.guests[dom]; ok {
+		return nil, fmt.Errorf("toolstack: adopt %v: %w", dom, xtypes.ErrExists)
+	}
+	if len(ts.guests) >= ts.quota.MaxVMs {
+		return nil, fmt.Errorf("toolstack: VM quota %d: %w", ts.quota.MaxVMs, xtypes.ErrQuota)
+	}
+	memMB := cfg.MemMB
+	if memMB == 0 {
+		memMB = 1024
+	}
+	if ts.usedMB+memMB > ts.quota.MaxMemMB {
+		return nil, fmt.Errorf("toolstack: memory quota: %w", xtypes.ErrQuota)
+	}
+	// Register the newcomer in this host's XenStore: the Builder does this
+	// for domains it builds, but a migrated domain arrives without a local
+	// subtree. Toolstacks are privileged XenStore clients, as in xenstored.
+	admin := ts.XS.Connect(ts.Dom, true)
+	base := fmt.Sprintf("/local/domain/%d", dom)
+	if err := admin.Mkdir(xenstore.TxNone, base); err != nil {
+		return nil, err
+	}
+	admin.Write(xenstore.TxNone, base+"/name", cfg.Name)
+	if err := admin.SetPerms(base, xenstore.Perms{Owner: dom, Read: []xtypes.DomID{xtypes.DomIDNone}}); err != nil {
+		return nil, err
+	}
+
+	g := &Guest{Dom: dom, Cfg: cfg}
+	var err error
+	if cfg.Net {
+		g.NetB, err = pickShard(ts, ts.NetBacks, func(b *netdrv.Backend) xtypes.DomID { return b.Dom }, cfg.ConstraintTag)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Disk {
+		g.BlkB, err = pickShard(ts, ts.BlkBacks, func(b *blkdrv.Backend) xtypes.DomID { return b.Dom }, cfg.ConstraintTag)
+		if err != nil {
+			if g.NetB != nil {
+				ts.releaseShard(g.NetB.Dom)
+			}
+			return nil, err
+		}
+	}
+	if err := ts.wireDevices(p, g); err != nil {
+		return nil, err
+	}
+	ts.guests[dom] = g
+	ts.usedMB += memMB
+	return g, nil
+}
+
+// DestroyVM tears a managed guest down. The hypervisor rejects the call for
+// guests this Toolstack did not build.
+func (ts *Toolstack) DestroyVM(p *sim.Proc, dom xtypes.DomID) error {
+	g, ok := ts.guests[dom]
+	if !ok {
+		return fmt.Errorf("toolstack: %v not managed here: %w", dom, xtypes.ErrPerm)
+	}
+	// HVM guests attach their devices through the QemuVM: detach there.
+	devDom, imgName := dom, fmt.Sprintf("%s-disk", g.Cfg.Name)
+	if g.Qemu != nil {
+		devDom = g.QemuDom
+		imgName = fmt.Sprintf("%s-qemu-disk", g.Cfg.Name)
+	}
+	if g.NetB != nil {
+		g.NetB.RemoveVif(devDom)
+		ts.H.UnlinkShardClient(ts.Dom, g.NetB.Dom, devDom)
+		ts.releaseShard(g.NetB.Dom)
+	}
+	if g.BlkB != nil {
+		g.BlkB.RemoveVbd(devDom)
+		ts.H.UnlinkShardClient(ts.Dom, g.BlkB.Dom, devDom)
+		ts.releaseShard(g.BlkB.Dom)
+		g.BlkB.DeleteImage(imgName)
+	}
+	if ts.Console != nil {
+		ts.Console.RemoveConsole(dom)
+	}
+	if err := ts.H.DestroyDomain(ts.Dom, dom, "destroyed by toolstack"); err != nil {
+		return err
+	}
+	// The device model dies with its guest (Table 5.1: lifetime = guest VM).
+	if g.Qemu != nil {
+		if err := ts.H.DestroyDomain(ts.Dom, g.QemuDom, "guest destroyed"); err != nil {
+			return err
+		}
+		ts.XS.Disconnect(g.QemuDom)
+	}
+	ts.XS.Disconnect(dom)
+	memMB := g.Cfg.MemMB
+	if memMB == 0 {
+		memMB = 1024
+	}
+	ts.usedMB -= memMB
+	delete(ts.guests, dom)
+	ts.Destroyed++
+	return nil
+}
+
+// Forget drops a guest record whose domain is already gone — it migrated
+// away. Shard reservations, the vif/vbd and the local disk image are
+// released, but no destroy is issued against the (nonexistent) domain.
+func (ts *Toolstack) Forget(dom xtypes.DomID) {
+	g, ok := ts.guests[dom]
+	if !ok {
+		return
+	}
+	if g.NetB != nil {
+		g.NetB.RemoveVif(dom)
+		ts.releaseShard(g.NetB.Dom)
+	}
+	if g.BlkB != nil {
+		g.BlkB.RemoveVbd(dom)
+		ts.releaseShard(g.BlkB.Dom)
+		g.BlkB.DeleteImage(fmt.Sprintf("%s-disk", g.Cfg.Name))
+	}
+	if ts.Console != nil {
+		ts.Console.RemoveConsole(dom)
+	}
+	memMB := g.Cfg.MemMB
+	if memMB == 0 {
+		memMB = 1024
+	}
+	ts.usedMB -= memMB
+	delete(ts.guests, dom)
+}
+
+// Pause pauses a managed guest.
+func (ts *Toolstack) Pause(dom xtypes.DomID) error { return ts.H.Pause(ts.Dom, dom) }
+
+// Unpause resumes a managed guest.
+func (ts *Toolstack) Unpause(dom xtypes.DomID) error { return ts.H.Unpause(ts.Dom, dom) }
+
+// Name implements snapshot.Restartable.
+func (ts *Toolstack) Name() string { return "toolstack" }
+
+// Restart implements snapshot.Restartable: the Toolstack's own microreboot.
+// Guest records live in XenStore (modelled by keeping the map — its state is
+// reconstructible), so the restart is brief.
+func (ts *Toolstack) Restart(p *sim.Proc, fast bool) {
+	p.Sleep(20 * sim.Millisecond)
+}
+
+// restartableAdapter adapts Toolstack to snapshot.Restartable.
+type restartableAdapter struct{ *Toolstack }
+
+// Dom implements snapshot.Restartable.
+func (a restartableAdapter) Dom() xtypes.DomID { return a.Toolstack.Dom }
+
+// AsRestartable returns the snapshot.Restartable view.
+func (ts *Toolstack) AsRestartable() interface {
+	Dom() xtypes.DomID
+	Name() string
+	Restart(p *sim.Proc, fast bool)
+} {
+	return restartableAdapter{ts}
+}

@@ -1,0 +1,106 @@
+// Package xoar is the public API of the Xoar platform reproduction: a
+// deterministic model of the Xen virtualization platform in its stock
+// monolithic layout and in the paper's disaggregated shard architecture
+// ("Breaking Up is Hard to Do: Security and Functionality in a Commodity
+// Hypervisor", SOSP 2011).
+//
+// Quickstart:
+//
+//	pl, err := xoar.New(xoar.XoarShards, xoar.Config{})
+//	g, err := pl.CreateGuest(xoar.GuestSpec{Name: "web", Net: true, Disk: true})
+//	res, err := g.Fetch(512<<20, xoar.SinkNull)
+//	fmt.Printf("%.1f MB/s\n", res.ThroughputMBps())
+//
+// The package re-exports the platform surface from internal/core plus the
+// workload, simulation-time, and security types examples need.
+package xoar
+
+import (
+	"xoar/internal/core"
+	"xoar/internal/guest"
+	"xoar/internal/seceval"
+	"xoar/internal/sim"
+	"xoar/internal/workload"
+	"xoar/internal/xtypes"
+)
+
+// Platform is a booted virtualization platform; see core.Platform.
+type Platform = core.Platform
+
+// Guest is a running guest VM with workload endpoints.
+type Guest = core.Guest
+
+// Profile selects the platform architecture.
+type Profile = core.Profile
+
+// Platform profiles.
+const (
+	// MonolithicDom0 is the stock Xen layout with a single control VM.
+	MonolithicDom0 = core.MonolithicDom0
+	// XoarShards is the paper's disaggregated architecture.
+	XoarShards = core.XoarShards
+)
+
+// Config tunes platform assembly.
+type Config = core.Config
+
+// GuestSpec describes a guest to create.
+type GuestSpec = core.GuestSpec
+
+// RestartPolicy configures component microreboots.
+type RestartPolicy = core.RestartPolicy
+
+// New boots a platform.
+func New(profile Profile, cfg Config) (*Platform, error) { return core.New(profile, cfg) }
+
+// NewCluster boots n platforms on one shared virtual clock, enabling live
+// migration between them via Platform.MigrateGuest.
+func NewCluster(profile Profile, cfg Config, n int) ([]*Platform, error) {
+	return core.NewCluster(profile, cfg, n)
+}
+
+// MigrationResult reports a completed live migration.
+type MigrationResult = core.MigrationResult
+
+// DomID identifies a domain.
+type DomID = xtypes.DomID
+
+// Duration and Time are virtual-clock types.
+type (
+	Duration = sim.Duration
+	Time     = sim.Time
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+)
+
+// Transfer sinks for Guest.Fetch.
+const (
+	// SinkNull discards fetched data (wget -O /dev/null).
+	SinkNull = guest.SinkNull
+	// SinkDisk writes fetched data through the guest's virtual disk.
+	SinkDisk = guest.SinkDisk
+)
+
+// FetchResult reports a bulk transfer.
+type FetchResult = guest.FetchResult
+
+// HTTPBenchResult reports an Apache-benchmark run.
+type HTTPBenchResult = guest.HTTPBenchResult
+
+// PostmarkConfig parameterizes the Postmark benchmark.
+type PostmarkConfig = workload.PostmarkConfig
+
+// BuildConfig parameterizes a kernel build.
+type BuildConfig = workload.BuildConfig
+
+// SecurityReport is the §6.2.1 containment analysis output.
+type SecurityReport = seceval.Report
+
+// TCBReport is the §6.2 trusted-computing-base accounting.
+type TCBReport = seceval.TCBReport
