@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file is not gofmt-clean, so regressions can't land.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the tier-1 gate: build + tests, plus vet and gofmt as guards.
+check: build test vet fmt

@@ -1,0 +1,126 @@
+// Shard administration: the Builder hosts the microreboot engine (§3.3).
+// Driver shards are delegated to it at boot; from then on it may roll them
+// back to their boot-time snapshot or, when the domain is gone entirely,
+// rebuild them from the recorded request.
+
+package builder
+
+import (
+	"errors"
+	"fmt"
+
+	"xoar/internal/sim"
+	"xoar/internal/snapshot"
+	"xoar/internal/xtypes"
+)
+
+// Administers reports whether the Builder may administer dom: it parents
+// the domain, or admin rights over it were delegated to the Builder.
+func (b *Builder) Administers(dom xtypes.DomID) bool {
+	d, err := b.hv.Domain(dom)
+	if err != nil {
+		return false
+	}
+	if d.ParentTool() == b.dom {
+		return true
+	}
+	for _, g := range d.Delegates() {
+		if g == b.dom {
+			return true
+		}
+	}
+	return false
+}
+
+// holds reports whether the Builder's own hypercall whitelist includes hc.
+// The engine honors the same Figure 3.1 assignments as everything else: a
+// Builder booted without HyperSetRestartPolicy cannot install policies.
+func (b *Builder) holds(hc xtypes.Hypercall) bool {
+	d, err := b.hv.Domain(b.dom)
+	if err != nil {
+		return false
+	}
+	pr := d.Priv()
+	return pr.ControlAll || pr.Hypercalls[hc]
+}
+
+// SetRestartPolicy places a delegated shard under the Builder's microreboot
+// engine, or updates its policy if already managed.
+func (b *Builder) SetRestartPolicy(comp snapshot.Restartable, pol snapshot.Policy) error {
+	if !b.holds(xtypes.HyperSetRestartPolicy) {
+		b.Denied++
+		return fmt.Errorf("builder: set_restart_policy not whitelisted for %v: %w", b.dom, xtypes.ErrPerm)
+	}
+	if !b.Administers(comp.Dom()) {
+		b.Denied++
+		return fmt.Errorf("builder: shard %v not delegated to the Builder: %w", comp.Dom(), xtypes.ErrPerm)
+	}
+	if _, ok := b.eng.Stats(comp.Dom()); ok {
+		return b.eng.SetPolicy(comp.Dom(), pol)
+	}
+	return b.eng.Manage(comp, pol)
+}
+
+// RestartStats reports the engine's accounting for a managed shard.
+func (b *Builder) RestartStats(dom xtypes.DomID) (snapshot.Stats, bool) {
+	return b.eng.Stats(dom)
+}
+
+// Rollback rolls a shard back to its snapshot. The hypervisor audits the
+// call against the Builder's HyperVMRollback whitelist and its standing
+// over the target; restore time is proportional to the dirty page set.
+func (b *Builder) Rollback(p *sim.Proc, dom xtypes.DomID) (int, error) {
+	d, err := b.hv.Domain(dom)
+	if err != nil {
+		return 0, err
+	}
+	dirty := d.Mem.DirtyPages()
+	restored, err := b.hv.VMRollback(b.dom, dom)
+	if err != nil {
+		return 0, err
+	}
+	p.Sleep(sim.Duration(dirty+1) * sim.Microsecond)
+	return restored, nil
+}
+
+// Rebuild replaces a shard with a fresh build of its recorded request —
+// the recovery path when the domain is dead or its snapshot unusable, and
+// the mechanism behind in-place driver upgrades. The replacement is the
+// Builder's own ward (it becomes the parent) and is re-snapshotted so it
+// can microreboot in turn.
+func (b *Builder) Rebuild(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
+	rec, ok := b.records[dom]
+	if !ok {
+		return xtypes.DomIDNone, fmt.Errorf("builder: no build record for %v: %w", dom, xtypes.ErrNotFound)
+	}
+	if err := b.hv.DestroyDomain(b.dom, dom, "builder: rebuild"); err != nil && !errors.Is(err, xtypes.ErrNoDomain) {
+		return xtypes.DomIDNone, err
+	}
+	b.eng.Unmanage(dom)
+	delete(b.records, dom)
+
+	req := rec.req
+	req.Requester = b.dom
+	newDom, err := b.BuildDirect(p, req)
+	if err != nil {
+		return xtypes.DomIDNone, err
+	}
+	b.Rebuilds++
+	if d, derr := b.hv.Domain(newDom); derr == nil {
+		pr := d.Priv()
+		if pr.ControlAll || pr.Hypercalls[xtypes.HyperVMSnapshot] {
+			b.hv.VMSnapshot(newDom)
+		}
+	}
+	return newDom, nil
+}
+
+// Recover restores a failed shard: roll back to its snapshot if the domain
+// is still alive, rebuild from the recorded request otherwise. Returns the
+// serving domain, which differs from dom on the rebuild path.
+func (b *Builder) Recover(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
+	if _, err := b.Rollback(p, dom); err == nil {
+		return dom, nil
+	}
+	return b.Rebuild(p, dom)
+}
