@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check
+.PHONY: build test race vet fmt check bench
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,16 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# race runs the full suite under the race detector (the telemetry layer is
+# exercised from parallel goroutines in its tests).
+race:
+	$(GO) test -race ./...
+
+# bench boots the Xoar profile, drives a workload, and emits the telemetry
+# snapshot as JSON — the machine-readable counterpart of `xoarbench`.
+bench:
+	$(GO) run ./cmd/xoarbench -metrics -json
 
 # check is the tier-1 gate: build + tests, plus vet and gofmt as guards.
 check: build test vet fmt

@@ -5,6 +5,8 @@
 //	xoarbench -exp fig6.3      # one experiment
 //	xoarbench -scale 0.1       # shrink workloads 10x for a quick pass
 //	xoarbench -markdown        # emit EXPERIMENTS.md-style sections
+//	xoarbench -metrics         # boot Xoar, run a workload, dump telemetry
+//	xoarbench -metrics -json   # same, as JSON
 package main
 
 import (
@@ -17,10 +19,41 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids: table6.1,table6.2,fig6.1,fig6.2,fig6.3,fig6.4,fig6.5,sec-tcb,sec-attacks,ablations")
+	exp := flag.String("exp", "all", "comma-separated experiment ids: table6.1,table6.2,fig6.1,fig6.2,fig6.3,fig6.4,fig6.5,sec-tcb,sec-attacks,ablations,telemetry")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = the paper's sizes)")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of text tables")
+	metrics := flag.Bool("metrics", false, "boot the Xoar profile, run a workload, and print the telemetry snapshot")
+	jsonOut := flag.Bool("json", false, "with -metrics: emit the snapshot as JSON")
 	flag.Parse()
+
+	if *metrics {
+		snap, err := experiments.MetricsSnapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarbench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			out, err := snap.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xoarbench: metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(snap.Text())
+		}
+		// -metrics alone is a snapshot dump; run experiments only when the
+		// user asked for some explicitly.
+		expSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				expSet = true
+			}
+		})
+		if !expSet {
+			return
+		}
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
@@ -47,6 +80,7 @@ func main() {
 		{"sec-tcb", experiments.TCBSize},
 		{"sec-attacks", experiments.KnownAttacks},
 		{"ablations", experiments.Ablations},
+		{"telemetry", experiments.Telemetry},
 	}
 
 	ran := 0

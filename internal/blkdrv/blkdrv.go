@@ -15,6 +15,7 @@ import (
 	"xoar/internal/hv"
 	"xoar/internal/ring"
 	"xoar/internal/sim"
+	"xoar/internal/telemetry"
 	"xoar/internal/xenstore"
 	"xoar/internal/xtypes"
 
@@ -88,6 +89,18 @@ type Backend struct {
 
 	CompletedReqs int64
 	RestartCount  int
+
+	// Pre-resolved telemetry handles indexed by Op; nil when disabled.
+	rtt [3]*telemetry.Histogram
+}
+
+// SetMetrics attaches a telemetry registry (nil = disabled). The ring
+// round-trip histograms measure, per request, the time from popping the
+// descriptor off the vbd ring to pushing its completion.
+func (b *Backend) SetMetrics(reg *telemetry.Registry) {
+	for op, name := range map[Op]string{OpRead: "read", OpWrite: "write", OpFlush: "flush"} {
+		b.rtt[op] = reg.Histogram("blkback_ring_rtt_us", telemetry.LatencyUSBuckets, telemetry.L("op", name))
+	}
 }
 
 // coLocationJitter is the probability a sequential request loses its merge.
@@ -261,6 +274,7 @@ func (b *Backend) startWorker(v *vbd) {
 			if err != nil {
 				return // broken: restart or teardown
 			}
+			start := p.Now()
 			b.H.Compute(p, b.Dom, perReqCPU)
 			seq := req.Sequential
 			if seq && b.CoLocated && b.H.Env.Rand().Float64() < coLocationJitter {
@@ -279,6 +293,9 @@ func (b *Backend) startWorker(v *vbd) {
 			}
 			v.ring.PushResponse(Resp{ID: req.ID})
 			b.CompletedReqs++
+			if int(req.Op) < len(b.rtt) {
+				b.rtt[req.Op].Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
+			}
 		}
 	})
 }

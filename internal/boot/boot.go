@@ -26,6 +26,7 @@ import (
 	"xoar/internal/pciback"
 	"xoar/internal/sim"
 	"xoar/internal/snapshot"
+	"xoar/internal/telemetry"
 	"xoar/internal/toolstack"
 	"xoar/internal/xenstore"
 	"xoar/internal/xtypes"
@@ -61,6 +62,10 @@ type Options struct {
 	// Manager redundant" (§6.1.1); with DestroyPCIBack this is the paper's
 	// 512MB minimal configuration.
 	NoConsole bool
+	// Telemetry, when non-nil, is wired into every instrumented component
+	// (Builder, restart engine, XenStore, driver backends). Nil disables the
+	// whole layer at negligible cost.
+	Telemetry *telemetry.Registry
 }
 
 // Platform is the assembled system, either profile.
@@ -138,6 +143,9 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	h.EnforceShardIVC = true
 	pl := &Platform{HV: h, Catalog: cat}
 
+	bootSpan := opts.Telemetry.StartSpan("boot", "boot:xoar", p.Now())
+	defer func() { bootSpan.EndAt(p.Now()) }()
+
 	p.Sleep(xenBoot)
 
 	// Xen creates the Bootstrapper. It is Critical in stock Xen terms, but
@@ -177,6 +185,7 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	}
 	pl.XenStoreState = xenstore.NewState()
 	pl.XenStoreLogic = xenstore.NewLogic(h.Env, pl.XenStoreState)
+	pl.XenStoreLogic.SetMetrics(opts.Telemetry)
 	// Figure 5.1: XenStore-Logic is restarted on each request; contents and
 	// watches live in XenStore-State, so the policy costs nothing.
 	pl.XenStoreLogic.RestartPerRequest = true
@@ -184,6 +193,16 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	// shard ownership of its /local/domain/<id> subtree (the Builder does
 	// the same for domains it builds).
 	xsAdmin := pl.XenStoreLogic.Connect(pl.XSLogicDom, true)
+	// Reap a destroyed domain's XenStore footprint: its connection (watches,
+	// in-flight transactions, event queue) and its /local/domain/<id>
+	// subtree. Disconnect must come first — removing the subtree fires watch
+	// events, and the dead domain's own event queue is already closed.
+	h.OnDestroy(func(id xtypes.DomID) {
+		pl.XenStoreLogic.Disconnect(id)
+		// Domains without a registered tree (the Bootstrapper) make this a
+		// harmless not-found.
+		xsAdmin.Rm(xenstore.TxNone, fmt.Sprintf("/local/domain/%d", id))
+	})
 	grantTree := func(dom xtypes.DomID) {
 		base := fmt.Sprintf("/local/domain/%d", dom)
 		xsAdmin.Mkdir(xenstore.TxNone, base)
@@ -237,8 +256,10 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	pl.Builder = builder.New(h, pl.BuilderDom, cat, pl.XenStoreLogic.Connect(pl.BuilderDom, true))
 	pl.Builder.XenStoreDom = pl.XSLogicDom
 	pl.Builder.Authorize(bs.ID)
+	pl.Builder.SetMetrics(opts.Telemetry)
 	h.Env.Spawn("builder-serve", pl.Builder.Serve)
 	pl.Engine = snapshot.NewEngine(h, pl.BuilderDom)
+	pl.Engine.SetMetrics(opts.Telemetry)
 
 	// --- PCIBack: hardware init and enumeration. ----------------------------
 	pl.PCIBackDom, err = bootShardDirect(p, h, bs.ID, cat, "pciback", osimage.ImgPCIBack, hv.Assignment{
@@ -325,6 +346,7 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 			return nil, res.err
 		}
 		if res.nb != nil {
+			res.nb.SetMetrics(opts.Telemetry)
 			pl.NetBacks = append(pl.NetBacks, res.nb)
 			// The Builder (which hosts the restart engine) administers the
 			// driver shards: it must be able to roll them back.
@@ -333,6 +355,7 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 			}
 		}
 		if res.bb != nil {
+			res.bb.SetMetrics(opts.Telemetry)
 			pl.BlkBacks = append(pl.BlkBacks, res.bb)
 			if err := h.Delegate(bs.ID, res.bb.Dom, pl.BuilderDom); err != nil {
 				return nil, err

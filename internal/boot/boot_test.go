@@ -1,13 +1,18 @@
 package boot
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
+	"xoar/internal/guest"
 	"xoar/internal/hv"
 	"xoar/internal/hw"
 	"xoar/internal/osimage"
 	"xoar/internal/sim"
+	"xoar/internal/snapshot"
 	"xoar/internal/toolstack"
+	"xoar/internal/xenstore"
 	"xoar/internal/xtypes"
 )
 
@@ -253,6 +258,76 @@ func TestUnknownImageRejectedWithoutCustomFlag(t *testing.T) {
 	env.RunFor(60 * sim.Second)
 	if err == nil {
 		t.Fatal("unknown image accepted")
+	}
+}
+
+// TestDestroyReapsXenStoreTree exercises the OnDestroy reaping hook:
+// destroying a guest removes its /local/domain/<id> subtree, and the watch
+// events the reap fires at NetBack's autonomous hotplug loop do not perturb
+// a later microreboot-and-reconnect of the surviving guest.
+func TestDestroyReapsXenStoreTree(t *testing.T) {
+	env, h, pl := bootXoar(t, Options{})
+	defer env.Shutdown()
+	ts := pl.Toolstacks[0]
+	nb := pl.NetBacks[0]
+
+	var g1, g2 *toolstack.Guest
+	var err error
+	env.Spawn("guests", func(p *sim.Proc) {
+		if g1, err = ts.CreateVM(p, toolstack.GuestConfig{
+			Name: "web1", Image: osimage.ImgGuestPV, Net: true, Disk: true,
+		}); err != nil {
+			return
+		}
+		g2, err = ts.CreateVM(p, toolstack.GuestConfig{
+			Name: "web2", Image: osimage.ImgGuestPV, Net: true, Disk: true,
+		})
+	})
+	env.RunFor(120 * sim.Second)
+	if err != nil {
+		t.Fatalf("guests: %v", err)
+	}
+
+	// The hotplug loop watches all of /local: the reap below fires deletion
+	// events straight at it.
+	env.Spawn("netback-hotplug", nb.WatchAndServe)
+
+	base := fmt.Sprintf("/local/domain/%d", g1.Dom)
+	admin := pl.XenStoreLogic.Connect(pl.XSLogicDom, true)
+	if _, rerr := admin.Read(xenstore.TxNone, base+"/name"); rerr != nil {
+		t.Fatalf("guest tree missing before destroy: %v", rerr)
+	}
+	env.Spawn("destroy", func(p *sim.Proc) { err = ts.DestroyVM(p, g1.Dom) })
+	env.RunFor(30 * sim.Second)
+	if err != nil {
+		t.Fatalf("destroy: %v", err)
+	}
+	if _, rerr := admin.Read(xenstore.TxNone, base+"/name"); !errors.Is(rerr, xtypes.ErrNotFound) {
+		t.Fatalf("guest tree survived destroy: %v", rerr)
+	}
+
+	// Microreboot NetBack; the surviving guest must renegotiate and move
+	// traffic, reap noise notwithstanding.
+	if merr := pl.Engine.Manage(nb.AsRestartable(), snapshot.Policy{Kind: snapshot.PolicyPerRequest}); merr != nil {
+		t.Fatal(merr)
+	}
+	var res guest.FetchResult
+	env.Spawn("reconnect", func(p *sim.Proc) {
+		if err = pl.Engine.RequestRestart(p, nb.Dom); err != nil {
+			return
+		}
+		vm := &guest.VM{H: h, Dom: g2.Dom, Net: g2.Net, Blk: g2.Blk, NetB: g2.NetB, BlkB: g2.BlkB}
+		res = vm.Fetch(p, 8<<20, guest.SinkNull)
+	})
+	env.RunFor(120 * sim.Second)
+	if err != nil {
+		t.Fatalf("restart+fetch: %v", err)
+	}
+	if res.Bytes != 8<<20 {
+		t.Fatalf("fetch moved %d bytes, want %d", res.Bytes, 8<<20)
+	}
+	if st, ok := pl.Engine.Stats(nb.Dom); !ok || st.Restarts != 1 || st.Errors != 0 {
+		t.Fatalf("restart stats: %+v (managed=%v)", st, ok)
 	}
 }
 

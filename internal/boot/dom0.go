@@ -1,6 +1,8 @@
 package boot
 
 import (
+	"fmt"
+
 	"xoar/internal/blkdrv"
 	"xoar/internal/builder"
 	"xoar/internal/consolemgr"
@@ -21,6 +23,9 @@ import (
 func BootDom0(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options) (*Platform, error) {
 	h.EnforceShardIVC = false
 	pl := &Platform{HV: h, Catalog: cat, Monolithic: true}
+
+	bootSpan := opts.Telemetry.StartSpan("boot", "boot:dom0", p.Now())
+	defer func() { bootSpan.EndAt(p.Now()) }()
 
 	p.Sleep(xenBoot)
 
@@ -72,7 +77,14 @@ func BootDom0(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	// the distribution's init scripts.
 	pl.XenStoreState = xenstore.NewState()
 	pl.XenStoreLogic = xenstore.NewLogic(h.Env, pl.XenStoreState)
+	pl.XenStoreLogic.SetMetrics(opts.Telemetry)
 	xs := pl.XenStoreLogic.Connect(d0.ID, true)
+	// Same XenStore reaping as the Xoar profile: xenstored cleans up after
+	// dead domains regardless of how the control plane is packaged.
+	h.OnDestroy(func(id xtypes.DomID) {
+		pl.XenStoreLogic.Disconnect(id)
+		xs.Rm(xenstore.TxNone, fmt.Sprintf("/local/domain/%d", id))
+	})
 
 	pl.Console = consolemgr.New(h, d0.ID, h.Machine.Serial, xs)
 	if err := pl.Console.Start(p); err != nil {
@@ -80,12 +92,14 @@ func BootDom0(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	}
 	for _, nic := range h.Machine.NICs() {
 		b := netdrv.NewBackend(h, d0.ID, nic, xs)
+		b.SetMetrics(opts.Telemetry)
 		b.Start(p)
 		pl.NetBacks = append(pl.NetBacks, b)
 	}
 	for _, disk := range h.Machine.Disks() {
 		b := blkdrv.NewBackend(h, d0.ID, disk, xs)
 		b.CoLocated = true
+		b.SetMetrics(opts.Telemetry)
 		b.Start(p)
 		pl.BlkBacks = append(pl.BlkBacks, b)
 	}
@@ -93,6 +107,10 @@ func BootDom0(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	pl.Timings.ConsoleReady = p.Now()
 
 	pl.Builder = builder.New(h, d0.ID, cat, xs)
+	// Stock Xen has no microreboot machinery: Rollback/Rebuild/Recover on
+	// this profile refuse with xtypes.ErrNoMicroreboot (§3.3 is Xoar-only).
+	pl.Builder.Monolithic = true
+	pl.Builder.SetMetrics(opts.Telemetry)
 	h.Env.Spawn("dom0-builder-serve", pl.Builder.Serve)
 	ts := toolstack.New(h, d0.ID, pl.XenStoreLogic, pl.Builder)
 	ts.Console = pl.Console

@@ -28,6 +28,7 @@ import (
 	"xoar/internal/osimage"
 	"xoar/internal/sim"
 	"xoar/internal/snapshot"
+	"xoar/internal/telemetry"
 	"xoar/internal/xenstore"
 	"xoar/internal/xtypes"
 )
@@ -91,12 +92,22 @@ type Builder struct {
 	Denied   int
 	Rebuilds int
 
+	// Monolithic marks the stock-Xen Dom0 profile: the Builder identity is
+	// Dom0 itself and there is no microreboot machinery, so Rollback and
+	// Rebuild refuse with xtypes.ErrNoMicroreboot (§3.3 is Xoar-only).
+	Monolithic bool
+
 	hv    *hv.Hypervisor
 	dom   xtypes.DomID
 	cat   *osimage.Catalog
 	xs    *xenstore.Conn
 	queue *sim.Chan[*job]
 	eng   *snapshot.Engine
+
+	// tel is the telemetry registry (nil = disabled); m holds pre-resolved
+	// metric handles so the hot path pays one nil check per observation.
+	tel *telemetry.Registry
+	m   builderMetrics
 
 	// authorized lists principals allowed privileged builds (the
 	// Bootstrapper during boot; the Builder itself afterwards).
@@ -110,9 +121,20 @@ type record struct {
 	boot sim.Duration
 }
 
+// builderMetrics are the Builder's pre-resolved telemetry handles; all nil
+// when telemetry is disabled (every method no-ops on nil).
+type builderMetrics struct {
+	queueDepth *telemetry.Histogram // depth seen by each Submit at enqueue
+	queueWait  *telemetry.Histogram // ms a job waited before service
+	buildMS    *telemetry.Histogram // ms from service start to booted
+	builds     *telemetry.Counter
+	denied     *telemetry.Counter
+}
+
 type job struct {
 	req   Request
 	reply *sim.Chan[jobResult]
+	enq   sim.Time // when Submit enqueued the job
 }
 
 type jobResult struct {
@@ -139,6 +161,20 @@ func New(h *hv.Hypervisor, dom xtypes.DomID, cat *osimage.Catalog, xs *xenstore.
 // Dom returns the domain the Builder runs in.
 func (b *Builder) Dom() xtypes.DomID { return b.dom }
 
+// SetMetrics attaches a telemetry registry to the Builder and its restart
+// engine. Safe with nil (telemetry disabled); call before Serve starts.
+func (b *Builder) SetMetrics(reg *telemetry.Registry) {
+	b.tel = reg
+	b.eng.SetMetrics(reg)
+	b.m = builderMetrics{
+		queueDepth: reg.Histogram("builder_queue_depth", telemetry.DepthBuckets),
+		queueWait:  reg.Histogram("builder_queue_wait_ms", telemetry.LatencyMSBuckets),
+		buildMS:    reg.Histogram("builder_build_latency_ms", telemetry.LatencyMSBuckets),
+		builds:     reg.Counter("builder_builds_total"),
+		denied:     reg.Counter("builder_denied_total"),
+	}
+}
+
 // Authorize allows dom to request privileged builds (shards, device
 // passthrough, hypercall whitelists).
 func (b *Builder) Authorize(dom xtypes.DomID) { b.authorized[dom] = true }
@@ -160,12 +196,21 @@ func (b *Builder) Serve(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		b.m.queueWait.Observe(p.Now().Sub(j.enq).Milliseconds())
+		start := p.Now()
+		sp := b.tel.StartSpan("builder", "build:"+j.req.Name, start)
+		csp := sp.StartChild("construct", start)
 		dom, boot, err := b.build(p, j.req)
+		csp.EndAt(p.Now())
 		if err == nil {
 			// The Builder supervises the newcomer's bring-up before
 			// acknowledging the request.
+			bsp := sp.StartChild("boot", p.Now())
 			p.Sleep(boot)
+			bsp.EndAt(p.Now())
+			b.m.buildMS.Observe(p.Now().Sub(start).Milliseconds())
 		}
+		sp.EndAt(p.Now())
 		j.reply.Send(jobResult{dom: dom, err: err})
 	}
 }
@@ -174,8 +219,9 @@ func (b *Builder) Serve(p *sim.Proc) {
 // booted. Safe to call from any process except the Builder's own serve
 // loop (which would deadlock — internal callers use BuildDirect).
 func (b *Builder) Submit(p *sim.Proc, req Request) (xtypes.DomID, error) {
-	j := &job{req: req, reply: sim.NewChan[jobResult](b.hv.Env)}
+	j := &job{req: req, reply: sim.NewChan[jobResult](b.hv.Env), enq: b.hv.Env.Now()}
 	b.queue.Send(j)
+	b.m.queueDepth.Observe(float64(b.queue.Len()))
 	res, ok := j.reply.Recv(p)
 	if !ok {
 		return xtypes.DomIDNone, fmt.Errorf("builder: %w", xtypes.ErrShutdown)
@@ -190,11 +236,15 @@ func (b *Builder) Submit(p *sim.Proc, req Request) (xtypes.DomID, error) {
 // bypassing the queue. Used by the rolling-upgrade path, which runs with
 // the Builder's own identity and must not deadlock the serve loop.
 func (b *Builder) BuildDirect(p *sim.Proc, req Request) (xtypes.DomID, error) {
+	start := p.Now()
+	sp := b.tel.StartSpan("builder", "build-direct:"+req.Name, start)
+	defer func() { sp.EndAt(p.Now()) }()
 	dom, boot, err := b.build(p, req)
 	if err != nil {
 		return xtypes.DomIDNone, err
 	}
 	p.Sleep(boot)
+	b.m.buildMS.Observe(p.Now().Sub(start).Milliseconds())
 	return dom, nil
 }
 
@@ -275,6 +325,7 @@ func (b *Builder) build(p *sim.Proc, req Request) (xtypes.DomID, sim.Duration, e
 	img, req, err := b.resolve(req)
 	if err != nil {
 		b.Denied++
+		b.m.denied.Inc()
 		return xtypes.DomIDNone, 0, err
 	}
 	memMB := req.MemMB
@@ -297,6 +348,7 @@ func (b *Builder) build(p *sim.Proc, req Request) (xtypes.DomID, sim.Duration, e
 		return xtypes.DomIDNone, 0, err
 	}
 	b.Builds++
+	b.m.builds.Inc()
 	b.records[d.ID] = record{req: req, boot: img.BootTime()}
 	return d.ID, img.BootTime(), nil
 }

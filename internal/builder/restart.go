@@ -11,6 +11,7 @@ import (
 
 	"xoar/internal/sim"
 	"xoar/internal/snapshot"
+	"xoar/internal/telemetry"
 	"xoar/internal/xtypes"
 )
 
@@ -66,10 +67,35 @@ func (b *Builder) RestartStats(dom xtypes.DomID) (snapshot.Stats, bool) {
 	return b.eng.Stats(dom)
 }
 
+// shardClass names the shard for restart-metric labels: the live domain's
+// name, the recorded request's name when the domain is already gone, or
+// "unknown". Class names are a small fixed set, so label cardinality stays
+// bounded (DESIGN.md §7) even though restarts target specific domains.
+func (b *Builder) shardClass(dom xtypes.DomID) string {
+	if d, err := b.hv.Domain(dom); err == nil && d.Name != "" {
+		return d.Name
+	}
+	if rec, ok := b.records[dom]; ok && rec.req.Name != "" {
+		return rec.req.Name
+	}
+	return "unknown"
+}
+
+// observeRestart records one restart-path duration under the shard's class.
+func (b *Builder) observeRestart(name, class string, d sim.Duration) {
+	b.tel.Histogram(name, telemetry.LatencyMSBuckets, telemetry.L("class", class)).
+		Observe(d.Milliseconds())
+}
+
 // Rollback rolls a shard back to its snapshot. The hypervisor audits the
 // call against the Builder's HyperVMRollback whitelist and its standing
 // over the target; restore time is proportional to the dirty page set.
 func (b *Builder) Rollback(p *sim.Proc, dom xtypes.DomID) (int, error) {
+	if b.Monolithic {
+		return 0, fmt.Errorf("builder: rollback of %v: %w", dom, xtypes.ErrNoMicroreboot)
+	}
+	start := p.Now()
+	class := b.shardClass(dom)
 	d, err := b.hv.Domain(dom)
 	if err != nil {
 		return 0, err
@@ -80,6 +106,7 @@ func (b *Builder) Rollback(p *sim.Proc, dom xtypes.DomID) (int, error) {
 		return 0, err
 	}
 	p.Sleep(sim.Duration(dirty+1) * sim.Microsecond)
+	b.observeRestart("restart_rollback_ms", class, p.Now().Sub(start))
 	return restored, nil
 }
 
@@ -89,10 +116,15 @@ func (b *Builder) Rollback(p *sim.Proc, dom xtypes.DomID) (int, error) {
 // Builder's own ward (it becomes the parent) and is re-snapshotted so it
 // can microreboot in turn.
 func (b *Builder) Rebuild(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
+	if b.Monolithic {
+		return xtypes.DomIDNone, fmt.Errorf("builder: rebuild of %v: %w", dom, xtypes.ErrNoMicroreboot)
+	}
+	start := p.Now()
 	rec, ok := b.records[dom]
 	if !ok {
 		return xtypes.DomIDNone, fmt.Errorf("builder: no build record for %v: %w", dom, xtypes.ErrNotFound)
 	}
+	class := b.shardClass(dom)
 	if err := b.hv.DestroyDomain(b.dom, dom, "builder: rebuild"); err != nil && !errors.Is(err, xtypes.ErrNoDomain) {
 		return xtypes.DomIDNone, err
 	}
@@ -103,6 +135,10 @@ func (b *Builder) Rebuild(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
 	req.Requester = b.dom
 	newDom, err := b.BuildDirect(p, req)
 	if err != nil {
+		// Keep the record: the old domain is gone, but a later Rebuild of
+		// the same shard (e.g. once an injected fault clears) must still
+		// know what to construct.
+		b.records[dom] = rec
 		return xtypes.DomIDNone, err
 	}
 	b.Rebuilds++
@@ -112,15 +148,39 @@ func (b *Builder) Rebuild(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
 			b.hv.VMSnapshot(newDom)
 		}
 	}
+	b.observeRestart("restart_rebuild_ms", class, p.Now().Sub(start))
 	return newDom, nil
 }
 
 // Recover restores a failed shard: roll back to its snapshot if the domain
 // is still alive, rebuild from the recorded request otherwise. Returns the
 // serving domain, which differs from dom on the rebuild path.
+//
+// When both paths fail, the shard may be half-recovered — alive but with
+// its snapshot refused mid-restore. Leaving it serving in that state would
+// be worse than losing it (§3.3's whole point is a known-good image), so
+// Recover destroys the leftover domain instead of leaking it.
 func (b *Builder) Recover(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
+	if b.Monolithic {
+		// Refusal is policy, not failure: do not tear the shard down.
+		return xtypes.DomIDNone, fmt.Errorf("builder: recover of %v: %w", dom, xtypes.ErrNoMicroreboot)
+	}
+	start := p.Now()
+	class := b.shardClass(dom)
+	sp := b.tel.StartSpan("builder", "recover:"+class, start)
+	defer func() { sp.EndAt(p.Now()) }()
 	if _, err := b.Rollback(p, dom); err == nil {
+		b.observeRestart("restart_recover_ms", class, p.Now().Sub(start))
 		return dom, nil
 	}
-	return b.Rebuild(p, dom)
+	newDom, err := b.Rebuild(p, dom)
+	if err != nil {
+		if _, derr := b.hv.Domain(dom); derr == nil {
+			b.eng.Unmanage(dom)
+			b.hv.DestroyDomain(b.dom, dom, "builder: failed recover")
+		}
+		return xtypes.DomIDNone, err
+	}
+	b.observeRestart("restart_recover_ms", class, p.Now().Sub(start))
+	return newDom, nil
 }

@@ -59,8 +59,14 @@ type Rig struct {
 	PL  *boot.Platform
 }
 
-// BootRig boots a profile on a fresh machine.
+// BootRig boots a profile on a fresh machine with default options.
 func BootRig(profile Profile, seed int64) (*Rig, error) {
+	return BootRigOpts(profile, seed, boot.Options{})
+}
+
+// BootRigOpts boots a profile with explicit boot options — the hook for
+// wiring a telemetry registry (or any other boot knob) into an experiment.
+func BootRigOpts(profile Profile, seed int64, opts boot.Options) (*Rig, error) {
 	env := sim.NewEnv(seed)
 	h := hv.New(env, hw.NewMachine(env))
 	var pl *boot.Platform
@@ -68,9 +74,9 @@ func BootRig(profile Profile, seed int64) (*Rig, error) {
 	done := false
 	env.Spawn("boot", func(p *sim.Proc) {
 		if profile == Dom0 {
-			pl, err = boot.BootDom0(p, h, osimage.DefaultCatalog(), boot.Options{})
+			pl, err = boot.BootDom0(p, h, osimage.DefaultCatalog(), opts)
 		} else {
-			pl, err = boot.BootXoar(p, h, osimage.DefaultCatalog(), boot.Options{})
+			pl, err = boot.BootXoar(p, h, osimage.DefaultCatalog(), opts)
 		}
 		done = true
 	})

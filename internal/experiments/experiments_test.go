@@ -215,6 +215,79 @@ func TestSecurityTables(t *testing.T) {
 	}
 }
 
+func TestMetricsSnapshotCoversHotPaths(t *testing.T) {
+	snap, err := MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := func(name string) (h struct {
+		Count uint64
+		Sum   float64
+	}) {
+		t.Helper()
+		for _, s := range snap.Histograms {
+			if s.Name == name {
+				return struct {
+					Count uint64
+					Sum   float64
+				}{s.Count, s.Sum}
+			}
+		}
+		t.Fatalf("histogram %q missing (have %d)", name, len(snap.Histograms))
+		return
+	}
+	// The Xoar boot pushes netback, blkback and the toolstack through the
+	// Builder's queue: build latency and queue depth must have samples.
+	if h := hist("builder_build_latency_ms"); h.Count == 0 || h.Sum <= 0 {
+		t.Errorf("builder_build_latency_ms empty: %+v", h)
+	}
+	if h := hist("builder_queue_depth"); h.Count == 0 {
+		t.Errorf("builder_queue_depth empty: %+v", h)
+	}
+	// The fetch workload exercises both driver rings and XenStore.
+	if h := hist(`netback_ring_rtt_us{dir=rx}`); h.Count == 0 {
+		t.Errorf("netback rx ring histogram empty: %+v", h)
+	}
+	if h := hist(`blkback_ring_rtt_us{op=write}`); h.Count == 0 {
+		t.Errorf("blkback write ring histogram empty: %+v", h)
+	}
+	var xsOps int64
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "xenstore_requests_total") {
+			xsOps += c.Value
+		}
+	}
+	if xsOps == 0 {
+		t.Error("no xenstore requests counted")
+	}
+	// Boot and build spans are present and closed.
+	if len(snap.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, sp := range snap.Spans {
+		if sp.Open {
+			t.Errorf("span %s[%s] left open", sp.Domain, sp.Name)
+		}
+	}
+}
+
+func TestTelemetryTableRenders(t *testing.T) {
+	tbl, err := Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty telemetry table")
+	}
+	r := findRow(t, tbl, "builder_builds_total")
+	if r.Measured <= 0 {
+		t.Errorf("builder_builds_total = %v", r.Measured)
+	}
+	if !strings.Contains(Render(tbl), "telemetry") {
+		t.Error("render lost the table id")
+	}
+}
+
 func TestRenderers(t *testing.T) {
 	tbl := Table{
 		ID: "t", Title: "demo",

@@ -1,0 +1,80 @@
+// Telemetry surface: boots the platform with the metrics registry wired
+// through every instrumented component, drives a representative workload,
+// and exposes the snapshot both raw (for cmd/xoarbench -metrics) and as a
+// headline Table alongside the paper's figures.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"xoar/internal/boot"
+	"xoar/internal/guest"
+	"xoar/internal/sim"
+	"xoar/internal/telemetry"
+)
+
+// MetricsSnapshot boots the Xoar profile with telemetry enabled, creates a
+// guest, and runs a 64MB disk-backed fetch so every instrumented hot path
+// (builder queue, restart engine registration, XenStore, both driver rings)
+// records real observations. It returns the registry snapshot.
+func MetricsSnapshot() (telemetry.Snapshot, error) {
+	reg := telemetry.New()
+	rig, err := BootRigOpts(Xoar, 1, boot.Options{Telemetry: reg})
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	defer rig.Close()
+	vm, err := rig.NewGuest("metrics")
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	if err := rig.Go(600*sim.Second, func(p *sim.Proc) {
+		vm.Fetch(p, 64<<20, guest.SinkDisk)
+	}); err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	return reg.Snapshot(), nil
+}
+
+// Telemetry renders MetricsSnapshot as a headline table: every counter, and
+// count/p50/p95 for every histogram.
+func Telemetry() (Table, error) {
+	snap, err := MetricsSnapshot()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{ID: "telemetry", Title: "Platform telemetry (Xoar boot + 64MB disk-backed fetch)"}
+	for _, c := range snap.Counters {
+		t.Rows = append(t.Rows, Row{Label: c.Name, Measured: float64(c.Value), Unit: "count"})
+	}
+	for _, h := range snap.Histograms {
+		u := metricUnit(h.Name)
+		t.Rows = append(t.Rows,
+			Row{Label: h.Name + " n", Measured: float64(h.Count), Unit: "count"},
+			Row{Label: h.Name + " p50", Measured: h.P50, Unit: u},
+			Row{Label: h.Name + " p95", Measured: h.P95, Unit: u},
+		)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d spans recorded (%d dropped); JSON export via xoarbench -metrics -json",
+		len(snap.Spans), snap.SpansDropped))
+	return t, nil
+}
+
+// metricUnit derives the display unit from the metric-name suffix
+// (DESIGN.md §7 naming scheme: <component>_<what>_<unit>).
+func metricUnit(name string) string {
+	base := name
+	if i := strings.IndexByte(base, '{'); i >= 0 {
+		base = base[:i]
+	}
+	switch {
+	case strings.HasSuffix(base, "_ms"):
+		return "ms"
+	case strings.HasSuffix(base, "_us"):
+		return "µs"
+	default:
+		return ""
+	}
+}

@@ -385,6 +385,9 @@ func (h *Hypervisor) VMRollback(caller, target xtypes.DomID) (int, error) {
 		h.DeniedCalls++
 		return 0, fmt.Errorf("hv: rollback %v by %v: %w", target, caller, xtypes.ErrPerm)
 	}
+	if err := h.injectFault("vm_rollback", caller, target); err != nil {
+		return 0, fmt.Errorf("hv: rollback %v: %w", target, err)
+	}
 	restored, err := d.Mem.Rollback()
 	if err != nil {
 		return 0, err

@@ -23,6 +23,7 @@ import (
 	"xoar/internal/hv"
 	"xoar/internal/ring"
 	"xoar/internal/sim"
+	"xoar/internal/telemetry"
 	"xoar/internal/xenstore"
 	"xoar/internal/xtypes"
 
@@ -101,6 +102,18 @@ type Backend struct {
 	ForwardedRx    int64
 	ForwardedTx    int64
 	RestartCount   int
+
+	// Pre-resolved telemetry handles; nil when telemetry is disabled.
+	rttRx, rttTx *telemetry.Histogram
+}
+
+// SetMetrics attaches a telemetry registry (nil = disabled). The ring
+// round-trip histograms measure, per chunk, the time from entering the
+// backend (wire inbox / tx ring pop) to completion (pushed to the guest
+// ring / handed to the NIC and acked).
+func (b *Backend) SetMetrics(reg *telemetry.Registry) {
+	b.rttRx = reg.Histogram("netback_ring_rtt_us", telemetry.LatencyUSBuckets, telemetry.L("dir", "rx"))
+	b.rttTx = reg.Histogram("netback_ring_rtt_us", telemetry.LatencyUSBuckets, telemetry.L("dir", "tx"))
 }
 
 // NewBackend constructs NetBack in domain dom, driving nic.
@@ -265,6 +278,7 @@ func (b *Backend) startPumps(v *vif) {
 			if !ok {
 				return
 			}
+			start := p.Now()
 			// Reap pending acks to free rx slots.
 			for {
 				if _, ok := v.rx.TryPopResponse(); !ok {
@@ -281,6 +295,7 @@ func (b *Backend) startPumps(v *vif) {
 				}
 			}
 			b.ForwardedRx++
+			b.rttRx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
 			// The ring's notify hook models the event-channel signal; the
 			// hypercall itself is charged above.
 		}
@@ -292,6 +307,7 @@ func (b *Backend) startPumps(v *vif) {
 			if err != nil {
 				return // broken
 			}
+			start := p.Now()
 			b.H.Compute(p, b.Dom, perChunkCPU)
 			b.NIC.Transmit(p, pkt.Bytes)
 			if v.tx.Broken() {
@@ -299,6 +315,7 @@ func (b *Backend) startPumps(v *vif) {
 			}
 			v.tx.PushResponse(ack{})
 			b.ForwardedTx++
+			b.rttTx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
 			if b.TxSink != nil {
 				b.TxSink(v.guest, pkt)
 			}

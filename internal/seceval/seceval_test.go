@@ -1,6 +1,7 @@
 package seceval
 
 import (
+	"errors"
 	"testing"
 
 	"xoar/internal/boot"
@@ -154,6 +155,43 @@ func TestDebugRegMitigationAppliesToBothPlatforms(t *testing.T) {
 	rep := an.Run()
 	if rep.ByOutcome[OutMitigated] != 2 {
 		t.Fatalf("mitigated on dom0 = %d", rep.ByOutcome[OutMitigated])
+	}
+}
+
+// TestMonolithicProfileHasNoMicroreboots asserts the §3.3 capability split:
+// microreboots exist only on the disaggregated platform. Stock Xen's Builder
+// refuses every restart-engine entry point with a distinct error, while the
+// Xoar Builder fails the same probe for ordinary reasons (no snapshot), never
+// with that error.
+func TestMonolithicProfileHasNoMicroreboots(t *testing.T) {
+	env, pl, guests := bootPlatform(t, true)
+	defer env.Shutdown()
+	var rbErr, rebErr, recErr error
+	env.Spawn("probe", func(p *sim.Proc) {
+		_, rbErr = pl.Builder.Rollback(p, guests[0])
+		_, rebErr = pl.Builder.Rebuild(p, guests[0])
+		_, recErr = pl.Builder.Recover(p, guests[0])
+	})
+	env.RunFor(10 * sim.Second)
+	for name, err := range map[string]error{"rollback": rbErr, "rebuild": rebErr, "recover": recErr} {
+		if !errors.Is(err, xtypes.ErrNoMicroreboot) {
+			t.Errorf("%s on stock Xen: err = %v, want ErrNoMicroreboot", name, err)
+		}
+	}
+	// The probed guest must be untouched by the refusals.
+	if _, err := pl.HV.Domain(guests[0]); err != nil {
+		t.Fatalf("refusal destroyed the guest: %v", err)
+	}
+
+	env2, xoar, xguests := bootPlatform(t, false)
+	defer env2.Shutdown()
+	var xerr error
+	env2.Spawn("probe", func(p *sim.Proc) {
+		_, xerr = xoar.Builder.Rollback(p, xguests[0])
+	})
+	env2.RunFor(10 * sim.Second)
+	if errors.Is(xerr, xtypes.ErrNoMicroreboot) {
+		t.Fatalf("xoar profile claims no microreboots: %v", xerr)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"xoar/internal/hv"
 	"xoar/internal/sim"
+	"xoar/internal/telemetry"
 	"xoar/internal/xtypes"
 )
 
@@ -72,7 +73,11 @@ type Engine struct {
 	caller xtypes.DomID // domain identity the engine acts as
 
 	entries map[xtypes.DomID]*entry
+	tel     *telemetry.Registry
 }
+
+// SetMetrics attaches a telemetry registry (nil = disabled).
+func (e *Engine) SetMetrics(reg *telemetry.Registry) { e.tel = reg }
 
 type entry struct {
 	comp   Restartable
@@ -173,6 +178,7 @@ func (e *Engine) restart(p *sim.Proc, ent *entry) {
 	restored, err := e.hv.VMRollback(e.caller, ent.comp.Dom())
 	if err != nil {
 		ent.stats.Errors++
+		e.tel.Counter("restart_errors_total", telemetry.L("comp", ent.comp.Name())).Inc()
 		return
 	}
 	p.Sleep(sim.Duration(dirty+1) * sim.Microsecond)
@@ -181,6 +187,8 @@ func (e *Engine) restart(p *sim.Proc, ent *entry) {
 	ent.stats.PagesRestored += restored
 	ent.stats.LastDowntime = p.Now().Sub(start)
 	ent.stats.TotalDowntime += ent.stats.LastDowntime
+	e.tel.Histogram("restart_downtime_ms", telemetry.LatencyMSBuckets,
+		telemetry.L("comp", ent.comp.Name())).Observe(ent.stats.LastDowntime.Milliseconds())
 }
 
 // Stats reports a component's accumulated restart accounting.

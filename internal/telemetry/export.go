@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CounterSnap is one counter in a snapshot. Name is the canonical metric
+// ID (name plus sorted labels).
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnap is one histogram's summary in a snapshot. Count and Sum
+// are exact; the quantiles are bucket-interpolated estimates.
+type HistogramSnap struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time export of the whole registry, with every
+// section sorted by metric ID so output is stable across runs.
+type Snapshot struct {
+	Counters     []CounterSnap   `json:"counters,omitempty"`
+	Gauges       []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms   []HistogramSnap `json:"histograms,omitempty"`
+	Spans        []SpanEvent     `json:"spans,omitempty"`
+	SpansDropped int64           `json:"spans_dropped,omitempty"`
+}
+
+// Snapshot captures the registry's current state. On a nil registry it
+// returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for id, c := range r.counters {
+		counters[id] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for id, g := range r.gauges {
+		gauges[id] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for id, h := range r.histograms {
+		histograms[id] = h
+	}
+	r.mu.Unlock()
+
+	for id, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: id, Value: c.Value()})
+	}
+	for id, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: id, Value: g.Value()})
+	}
+	for id, h := range histograms {
+		count, sum, min, max, p50, p95, p99 := h.stats()
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Name: id, Count: count, Sum: sum, Min: min, Max: max,
+			P50: p50, P95: p95, P99: p99,
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	s.Spans = r.tracer.Events()
+	s.SpansDropped = r.tracer.Dropped()
+	return s
+}
+
+// Text renders the snapshot as aligned human-readable text.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("# counters\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "%-52s %d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("# gauges\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "%-52s %g\n", g.Name, g.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("# histograms (count sum min p50 p95 p99 max)\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "%-52s n=%-6d sum=%-12.3f min=%-10.3f p50=%-10.3f p95=%-10.3f p99=%-10.3f max=%.3f\n",
+				h.Name, h.Count, h.Sum, h.Min, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	if len(s.Spans) > 0 {
+		fmt.Fprintf(&b, "# spans (%d recorded", len(s.Spans))
+		if s.SpansDropped > 0 {
+			fmt.Fprintf(&b, ", %d dropped", s.SpansDropped)
+		}
+		b.WriteString(")\n")
+		depth := make(map[SpanID]int, len(s.Spans))
+		for _, ev := range s.Spans {
+			d := 0
+			if pd, ok := depth[ev.Parent]; ok {
+				d = pd + 1
+			}
+			depth[ev.ID] = d
+			open := ""
+			if ev.Open {
+				open = " (open)"
+			}
+			fmt.Fprintf(&b, "%12.6fs %s[%s] %s %s%s\n",
+				ev.Start.Seconds(), strings.Repeat("  ", d), ev.Domain, ev.Name,
+				ev.Duration, open)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

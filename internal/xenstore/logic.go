@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"xoar/internal/sim"
+	"xoar/internal/telemetry"
 	"xoar/internal/xtypes"
 )
 
@@ -74,6 +75,40 @@ type Logic struct {
 	RestartPerRequest bool
 
 	restarts int
+
+	// tel is the telemetry registry (nil = disabled); ops holds one
+	// pre-resolved counter per operation kind so the per-request cost is a
+	// map lookup plus an atomic add.
+	tel *telemetry.Registry
+	ops map[string]*telemetry.Counter
+}
+
+// opKinds is the fixed operation vocabulary for xenstore_requests_total.
+var opKinds = []string{
+	"read", "write", "mkdir", "rm", "directory",
+	"get-perms", "set-perms", "watch", "unwatch", "tx-start", "tx-end",
+}
+
+// SetMetrics attaches a telemetry registry (nil = disabled) and resolves
+// the per-operation request counters.
+func (l *Logic) SetMetrics(reg *telemetry.Registry) {
+	l.tel = reg
+	if reg == nil {
+		l.ops = nil
+		return
+	}
+	l.ops = make(map[string]*telemetry.Counter, len(opKinds))
+	for _, op := range opKinds {
+		l.ops[op] = reg.Counter("xenstore_requests_total", telemetry.L("op", op))
+	}
+}
+
+// countOp records one request of the given kind.
+func (l *Logic) countOp(op string) {
+	if l.ops == nil {
+		return
+	}
+	l.ops[op].Inc()
 }
 
 // NewLogic returns a Logic attached to state.
@@ -179,6 +214,7 @@ func (c *Conn) writableAncestor(parts []string) (*node, int, bool) {
 // TxStart opens a transaction for the connection.
 func (c *Conn) TxStart() (TxID, error) {
 	l := c.logic
+	l.countOp("tx-start")
 	inFlight := 0
 	for _, t := range l.txs {
 		if t.dom == c.dom {
@@ -219,6 +255,7 @@ func (c *Conn) getTx(id TxID) (*tx, error) {
 // ErrAgain when any path the transaction touched changed since TxStart; the
 // caller retries, as in the real protocol.
 func (c *Conn) TxEnd(id TxID, commit bool) error {
+	c.logic.countOp("tx-end")
 	t, err := c.getTx(id)
 	if err != nil {
 		return err
@@ -277,6 +314,7 @@ func isNotFound(err error) bool {
 
 // Read returns the value at path.
 func (c *Conn) Read(id TxID, path string) (string, error) {
+	c.logic.countOp("read")
 	t, err := c.getTx(id)
 	if err != nil {
 		return "", err
@@ -347,6 +385,17 @@ func (c *Conn) writeCommitted(path, value string) error {
 
 // Write stores value at path, creating intermediate nodes as needed.
 func (c *Conn) Write(id TxID, path, value string) error {
+	c.logic.countOp("write")
+	return c.write(id, path, value)
+}
+
+// Mkdir creates an empty node at path.
+func (c *Conn) Mkdir(id TxID, path string) error {
+	c.logic.countOp("mkdir")
+	return c.write(id, path, "")
+}
+
+func (c *Conn) write(id TxID, path, value string) error {
 	t, err := c.getTx(id)
 	if err != nil {
 		return err
@@ -359,11 +408,6 @@ func (c *Conn) Write(id TxID, path, value string) error {
 	err = c.writeCommitted(path, value)
 	c.logic.maybeAutoRestart()
 	return err
-}
-
-// Mkdir creates an empty node at path.
-func (c *Conn) Mkdir(id TxID, path string) error {
-	return c.Write(id, path, "")
 }
 
 // rmCommitted removes the subtree at path.
@@ -403,6 +447,7 @@ func (c *Conn) rmCommitted(path string) error {
 
 // Rm removes the subtree at path.
 func (c *Conn) Rm(id TxID, path string) error {
+	c.logic.countOp("rm")
 	t, err := c.getTx(id)
 	if err != nil {
 		return err
@@ -418,6 +463,7 @@ func (c *Conn) Rm(id TxID, path string) error {
 
 // Directory lists the children of path in sorted order.
 func (c *Conn) Directory(id TxID, path string) ([]string, error) {
+	c.logic.countOp("directory")
 	t, err := c.getTx(id)
 	if err != nil {
 		return nil, err
@@ -446,6 +492,7 @@ func (c *Conn) Directory(id TxID, path string) ([]string, error) {
 
 // GetPerms returns the permissions of the node at path.
 func (c *Conn) GetPerms(path string) (Perms, error) {
+	c.logic.countOp("get-perms")
 	parts, err := SplitPath(path)
 	if err != nil {
 		return Perms{}, err
@@ -472,6 +519,7 @@ func (c *Conn) GetPerms(path string) (Perms, error) {
 // SetPerms replaces the permissions of the node at path. Only the owner or a
 // privileged connection may do so.
 func (c *Conn) SetPerms(path string, perms Perms) error {
+	c.logic.countOp("set-perms")
 	parts, err := SplitPath(path)
 	if err != nil {
 		return err
@@ -502,6 +550,7 @@ func (c *Conn) SetPerms(path string, perms Perms) error {
 // Watch registers for change events on path (and its subtree). Per protocol,
 // a synthetic initial event fires immediately on registration.
 func (c *Conn) Watch(path, token string) error {
+	c.logic.countOp("watch")
 	if _, err := SplitPath(path); err != nil {
 		return err
 	}
@@ -531,6 +580,7 @@ func (c *Conn) Watch(path, token string) error {
 
 // Unwatch removes a registration.
 func (c *Conn) Unwatch(path, token string) {
+	c.logic.countOp("unwatch")
 	c.logic.state.removeWatch(c.dom, path, token)
 }
 

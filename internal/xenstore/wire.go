@@ -5,6 +5,7 @@ import (
 
 	"xoar/internal/ring"
 	"xoar/internal/sim"
+	"xoar/internal/telemetry"
 	"xoar/internal/xtypes"
 )
 
@@ -115,6 +116,7 @@ func (s *Server) Serve(env *sim.Env, client xtypes.DomID, privileged bool) *Clie
 			if err != nil {
 				return
 			}
+			start := p.Now()
 			if s.cpu != nil {
 				s.cpu.Compute(p, s.dom, wireOpCPU)
 			}
@@ -124,6 +126,13 @@ func (s *Server) Serve(env *sim.Env, client xtypes.DomID, privileged bool) *Clie
 			}
 			tr.req.PushResponse(reply)
 			s.Handled++
+			if s.logic.tel != nil {
+				// Service latency = CPU charge + dispatch, i.e. the time the
+				// request occupied xenstored, excluding ring wait.
+				s.logic.tel.Histogram("xenstore_service_us", telemetry.LatencyUSBuckets,
+					telemetry.L("op", req.Type.String())).
+					Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
+			}
 		}
 	}))
 	// Event pump: forward watch firings as unsolicited messages.
