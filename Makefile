@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench
+.PHONY: build test race vet fmt lint check bench
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# lint runs the repo's own analyzers (internal/xoarlint): privilege-audit,
+# sim-determinism, shard-layering and error-wrapping invariants. The same
+# passes run inside `go test ./...` via xoarlint_test.go, so this target is
+# the fast, focused entry point.
+lint:
+	$(GO) run ./cmd/xoarlint ./...
+
 # race runs the full suite under the race detector (the telemetry layer is
 # exercised from parallel goroutines in its tests).
 race:
@@ -28,5 +35,6 @@ race:
 bench:
 	$(GO) run ./cmd/xoarbench -metrics -json
 
-# check is the tier-1 gate: build + tests, plus vet and gofmt as guards.
-check: build test vet fmt
+# check is the tier-1 gate: build + tests, plus vet, gofmt and xoarlint as
+# guards.
+check: build test vet fmt lint

@@ -1,0 +1,65 @@
+// Command xoarlint runs the repo's static-analysis passes — the build-time
+// enforcement of Xoar's least-privilege invariants (see internal/xoarlint).
+//
+// Usage:
+//
+//	xoarlint [-list] [./... | dir ...]
+//
+// With no arguments (or "./..."), the whole module containing the current
+// directory is analyzed. Exit status: 0 clean, 1 violations, 2 load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xoar/internal/xoarlint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: xoarlint [-list] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range xoarlint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var pkgs []*xoarlint.Package
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		var (
+			loaded []*xoarlint.Package
+			err    error
+		)
+		if arg == "./..." || arg == "..." {
+			loaded, err = xoarlint.LoadModule(".")
+		} else {
+			loaded, err = xoarlint.LoadModuleDir(arg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarlint: %v\n", err)
+			os.Exit(2)
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	diags := xoarlint.RunAll(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "xoarlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

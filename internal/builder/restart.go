@@ -70,7 +70,7 @@ func (b *Builder) RestartStats(dom xtypes.DomID) (snapshot.Stats, bool) {
 // shardClass names the shard for restart-metric labels: the live domain's
 // name, the recorded request's name when the domain is already gone, or
 // "unknown". Class names are a small fixed set, so label cardinality stays
-// bounded (DESIGN.md §7) even though restarts target specific domains.
+// bounded (DESIGN.md §8) even though restarts target specific domains.
 func (b *Builder) shardClass(dom xtypes.DomID) string {
 	if d, err := b.hv.Domain(dom); err == nil && d.Name != "" {
 		return d.Name

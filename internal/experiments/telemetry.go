@@ -63,7 +63,7 @@ func Telemetry() (Table, error) {
 }
 
 // metricUnit derives the display unit from the metric-name suffix
-// (DESIGN.md §7 naming scheme: <component>_<what>_<unit>).
+// (DESIGN.md §8 naming scheme: <component>_<what>_<unit>).
 func metricUnit(name string) string {
 	base := name
 	if i := strings.IndexByte(base, '{'); i >= 0 {

@@ -1,0 +1,96 @@
+package hv
+
+// Edge cases of the §5.6 IVC sharing policy, tested directly against
+// ivcAllowed (the single predicate behind Grant/MapGrant/EvtchnAllocUnbound/
+// EvtchnBind): endpoints may communicate iff one is a shard and the other is
+// a linked client or another shard — with self-IVC always allowed and the
+// whole policy vacuous when enforcement is off (stock Xen).
+
+import (
+	"errors"
+	"testing"
+
+	"xoar/internal/xtypes"
+)
+
+func TestIVCAllowedShardToShard(t *testing.T) {
+	_, h := newHV(true)
+	a := mkDom(t, h, "netback", true)
+	b := mkDom(t, h, "blkback", true)
+	if err := h.ivcAllowed(a.ID, b.ID); err != nil {
+		t.Fatalf("shard<->shard: %v, want nil", err)
+	}
+}
+
+func TestIVCAllowedGuestToGuestRejected(t *testing.T) {
+	_, h := newHV(true)
+	a := mkDom(t, h, "guestA", false)
+	b := mkDom(t, h, "guestB", false)
+	err := h.ivcAllowed(a.ID, b.ID)
+	if !errors.Is(err, xtypes.ErrNotShard) {
+		t.Fatalf("guest<->guest: %v, want ErrNotShard", err)
+	}
+}
+
+func TestIVCAllowedUnlinkedGuestRejected(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "netback", true)
+	guest := mkDom(t, h, "guest", false)
+	before := h.DeniedCalls
+	err := h.ivcAllowed(guest.ID, shard.ID)
+	if !errors.Is(err, xtypes.ErrNotDelegated) {
+		t.Fatalf("unlinked guest<->shard: %v, want ErrNotDelegated", err)
+	}
+	if h.DeniedCalls != before+1 {
+		t.Fatalf("DeniedCalls = %d, want %d", h.DeniedCalls, before+1)
+	}
+	// Argument order must not matter: the shard initiating toward the
+	// unlinked guest is equally blocked.
+	if err := h.ivcAllowed(shard.ID, guest.ID); !errors.Is(err, xtypes.ErrNotDelegated) {
+		t.Fatalf("shard<->unlinked guest: %v, want ErrNotDelegated", err)
+	}
+}
+
+func TestIVCAllowedLinkedClient(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "netback", true)
+	guest := mkDom(t, h, "guest", false)
+	if err := h.LinkShardClient(SystemCaller, shard.ID, guest.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ivcAllowed(guest.ID, shard.ID); err != nil {
+		t.Fatalf("linked guest<->shard: %v, want nil", err)
+	}
+	if err := h.ivcAllowed(shard.ID, guest.ID); err != nil {
+		t.Fatalf("shard<->linked guest: %v, want nil", err)
+	}
+}
+
+func TestIVCAllowedSelf(t *testing.T) {
+	_, h := newHV(true)
+	guest := mkDom(t, h, "guest", false)
+	if err := h.ivcAllowed(guest.ID, guest.ID); err != nil {
+		t.Fatalf("self-IVC: %v, want nil", err)
+	}
+}
+
+func TestIVCAllowedEnforcementOff(t *testing.T) {
+	_, h := newHV(false)
+	a := mkDom(t, h, "guestA", false)
+	b := mkDom(t, h, "guestB", false)
+	if err := h.ivcAllowed(a.ID, b.ID); err != nil {
+		t.Fatalf("stock Xen guest<->guest: %v, want nil", err)
+	}
+}
+
+func TestIVCAllowedDeadEndpoint(t *testing.T) {
+	_, h := newHV(true)
+	shard := mkDom(t, h, "netback", true)
+	guest := mkDom(t, h, "guest", false)
+	if err := h.DestroyDomain(SystemCaller, guest.ID, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ivcAllowed(shard.ID, guest.ID); !errors.Is(err, xtypes.ErrNoDomain) {
+		t.Fatalf("shard<->dead: %v, want ErrNoDomain", err)
+	}
+}

@@ -296,8 +296,14 @@ func (h *Hypervisor) MapForeign(caller, target xtypes.DomID, pfn xtypes.PFN) err
 	return h.MM.MapForeign(caller, target, pfn)
 }
 
-// UnmapForeign releases a privileged mapping.
+// UnmapForeign releases a privileged mapping. Like MapForeign it requires
+// HyperMapForeign: a domain that cannot map foreign memory has no business
+// tearing down someone else's mappings either (the asymmetry was a forgotten
+// audit, caught by privcheck).
 func (h *Hypervisor) UnmapForeign(caller, target xtypes.DomID) error {
+	if _, err := h.check(caller, xtypes.HyperMapForeign); err != nil {
+		return err
+	}
 	return h.MM.UnmapForeign(caller, target)
 }
 
@@ -396,11 +402,21 @@ func (h *Hypervisor) VMRollback(caller, target xtypes.DomID) (int, error) {
 	return restored, nil
 }
 
-// RegisterRecoveryBox marks a persistent region in the caller's memory.
+// RegisterRecoveryBox marks a persistent region in the caller's memory that
+// survives rollback (§3.3). It is part of the snapshot protocol and requires
+// HyperVMSnapshot, the same whitelist entry as VMSnapshot itself — a domain
+// not enrolled in microreboots has no snapshot for a box to survive (this
+// audit was missing; caught by privcheck).
 func (h *Hypervisor) RegisterRecoveryBox(caller xtypes.DomID, start xtypes.PFN, count int) error {
-	d, err := h.Domain(caller)
+	d, err := h.check(caller, xtypes.HyperVMSnapshot)
 	if err != nil {
 		return err
+	}
+	if d == nil {
+		// SystemCaller bypasses the whitelist but owns no memory image.
+		if d, err = h.Domain(caller); err != nil {
+			return err
+		}
 	}
 	return d.Mem.RegisterRecoveryBox(mm.RegionOf(start, count))
 }

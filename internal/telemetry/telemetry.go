@@ -15,7 +15,7 @@
 //     observe into it (see the -race tests).
 //  3. Bounded cardinality. Metrics are keyed by name plus a small sorted
 //     label set; labels carry component or operation classes, never
-//     per-domain IDs (DESIGN.md §7 has the naming rules).
+//     per-domain IDs (DESIGN.md §8 has the naming rules).
 package telemetry
 
 import (

@@ -1,0 +1,200 @@
+package xoarlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule walks the module rooted at (or above) dir and loads every
+// package under it. Vendored trees, testdata and dot-directories are skipped.
+func LoadModule(dir string) ([]*Package, error) {
+	root, modName, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "node_modules") {
+			return filepath.SkipDir
+		}
+		units, err := loadDir(path, importPathFor(root, modName, path))
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, units...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// LoadModuleDir loads the package units of a single directory, deriving the
+// import path from the enclosing module.
+func LoadModuleDir(dir string) ([]*Package, error) {
+	root, modName, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadDir(dir, importPathFor(root, modName, abs))
+}
+
+// LoadDir loads the package units in a single directory under the given
+// import path. The path override lets tests present synthetic sources as any
+// package identity ("xoar/internal/hv") without living in the module tree.
+func LoadDir(dir, importPath string) ([]*Package, error) {
+	return loadDir(dir, importPath)
+}
+
+// findModule locates go.mod upward from dir and returns the module root and
+// module name.
+func findModule(dir string) (root, name string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("xoarlint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("xoarlint: no go.mod found above %s", dir)
+		}
+	}
+}
+
+func importPathFor(root, modName, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modName
+	}
+	return modName + "/" + filepath.ToSlash(rel)
+}
+
+// loadDir parses the .go files of one directory into package units: the
+// package proper (with its in-package test files) and, when present, the
+// external _test package.
+func loadDir(dir, importPath string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	type unit struct {
+		files []*ast.File
+		test  map[*ast.File]bool
+		src   map[string][]byte
+	}
+	units := map[string]*unit{} // by package name
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fpath := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(fpath)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, fpath, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("xoarlint: %w", err)
+		}
+		name := f.Name.Name
+		u := units[name]
+		if u == nil {
+			u = &unit{test: map[*ast.File]bool{}, src: map[string][]byte{}}
+			units[name] = u
+			names = append(names, name)
+		}
+		u.files = append(u.files, f)
+		u.src[fpath] = src
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			u.test[f] = true
+		}
+	}
+	sort.Strings(names)
+	var pkgs []*Package
+	for _, name := range names {
+		u := units[name]
+		p := typeCheck(fset, dir, importPath, name, u.files, u.test)
+		p.Src = u.src
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// typeCheck runs the go/types checker in best-effort mode: imports resolve to
+// empty stub packages and every error is swallowed. The point is not full
+// type safety (the compiler owns that) but the checker's name resolution —
+// Info.Uses distinguishes an identifier that names an imported package from
+// one shadowed by a local variable, which keeps the analyzers honest about
+// aliased and shadowed imports.
+func typeCheck(fset *token.FileSet, dir, importPath, name string, files []*ast.File, test map[*ast.File]bool) *Package {
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:                 &stubImporter{pkgs: map[string]*types.Package{}},
+		Error:                    func(error) {}, // incomplete imports make errors inevitable
+		DisableUnusedImportCheck: true,
+	}
+	// The checked package's path must differ from any stub the importer hands
+	// back, so external test units keep their ".test" suffix internally.
+	checkPath := importPath
+	if strings.HasSuffix(name, "_test") {
+		checkPath += ".test"
+	}
+	_, _ = conf.Check(checkPath, fset, files, info)
+	return &Package{Name: name, Path: importPath, Dir: dir, Fset: fset, Files: files, Test: test, Info: info}
+}
+
+// stubImporter satisfies every import with an empty, complete package of the
+// right path and name. Member lookups against it fail (and are ignored), but
+// the qualifier identifier still resolves to a *types.PkgName.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (s *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	s.pkgs[path] = p
+	return p, nil
+}

@@ -1,0 +1,340 @@
+package xoarlint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSrc writes src as a single-file package in a temp dir and loads it
+// under the given import path, letting tests present synthetic sources as
+// any package identity.
+func loadSrc(t *testing.T, importPath, src string) *Package {
+	t.Helper()
+	return loadSrcFile(t, importPath, "src.go", src)
+}
+
+func loadSrcFile(t *testing.T, importPath, filename, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, filename), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d units, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// diagsOf runs a single analyzer by name over pkgs with suppressions applied.
+func diagsOf(t *testing.T, name string, pkgs ...*Package) []Diagnostic {
+	t.Helper()
+	var out []Diagnostic
+	for _, d := range RunAll(pkgs) {
+		if d.Analyzer == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func wantDiags(t *testing.T, diags []Diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(substrs), diags)
+	}
+	for i, want := range substrs {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+// --- privcheck ---------------------------------------------------------------
+
+const privcheckSrc = `package hv
+
+import "xoar/internal/xtypes"
+
+type Hypervisor struct{ DeniedCalls int }
+
+func (h *Hypervisor) check(caller xtypes.DomID, hc xtypes.Hypercall) (*int, error) { return nil, nil }
+func (h *Hypervisor) controls(caller xtypes.DomID, d *int) bool                    { return true }
+
+// Audited: fine.
+func (h *Hypervisor) Destroy(caller, target xtypes.DomID) error {
+	if _, err := h.check(caller, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Audited via controls: fine.
+func (h *Hypervisor) Link(caller, shard xtypes.DomID) error {
+	if !h.controls(caller, nil) {
+		return nil
+	}
+	return nil
+}
+
+// Forgotten audit: flagged.
+func (h *Hypervisor) UnmapEverything(caller, target xtypes.DomID) error {
+	return nil
+}
+
+// check called on a constant, not the caller parameter: still flagged.
+func (h *Hypervisor) Sneaky(caller xtypes.DomID) error {
+	_, err := h.check(0, 0)
+	return err
+}
+
+// Unexported: out of scope.
+func (h *Hypervisor) internalOp(caller xtypes.DomID) {}
+
+// No DomID parameter: out of scope.
+func (h *Hypervisor) Stats() int { return h.DeniedCalls }
+
+// Allowlisted read-only query.
+func (h *Hypervisor) HasIOPorts(dom xtypes.DomID, r string) bool { return false }
+`
+
+func TestPrivcheckFlagsForgottenAudit(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/hv", privcheckSrc)
+	diags := diagsOf(t, "privcheck", p)
+	wantDiags(t, diags, "hv.UnmapEverything", "hv.Sneaky")
+}
+
+func TestPrivcheckScopedToHV(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/other", privcheckSrc)
+	if diags := diagsOf(t, "privcheck", p); len(diags) != 0 {
+		t.Fatalf("privcheck fired outside internal/hv: %v", diags)
+	}
+}
+
+func TestPrivcheckSuppression(t *testing.T) {
+	src := strings.Replace(privcheckSrc,
+		"// Forgotten audit: flagged.",
+		"//xoarlint:allow(privcheck) verified audited by dispatcher in review", 1)
+	p := loadSrc(t, "xoar/internal/hv", src)
+	wantDiags(t, diagsOf(t, "privcheck", p), "hv.Sneaky")
+}
+
+// --- simtime -----------------------------------------------------------------
+
+const simtimeSrc = `package netdrv
+
+import (
+	"math/rand"
+	"time"
+
+	clock "time"
+)
+
+func bad() {
+	_ = time.Now()
+	time.Sleep(time.Second)
+	_ = clock.Now() // aliased import: still caught
+	_ = rand.Intn(10)
+}
+
+func fine() {
+	_ = time.Second                       // constants are fine
+	_ = rand.New(rand.NewSource(1)).Intn(4) // seeded source is fine
+}
+`
+
+func TestSimtimeFlagsWallClockAndGlobalRand(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/netdrv", simtimeSrc)
+	diags := diagsOf(t, "simtime", p)
+	wantDiags(t, diags,
+		"time.Now breaks simulation determinism",
+		"time.Sleep breaks simulation determinism",
+		"clock.Now breaks simulation determinism",
+		"rand.Intn uses the process-global random source",
+	)
+}
+
+func TestSimtimeExemptsSimPackage(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/sim", simtimeSrc)
+	if diags := diagsOf(t, "simtime", p); len(diags) != 0 {
+		t.Fatalf("simtime fired inside internal/sim: %v", diags)
+	}
+}
+
+func TestSimtimeIgnoresNonInternal(t *testing.T) {
+	p := loadSrc(t, "xoar/cmd/xoarbench", simtimeSrc)
+	if diags := diagsOf(t, "simtime", p); len(diags) != 0 {
+		t.Fatalf("simtime fired outside internal/: %v", diags)
+	}
+}
+
+func TestSimtimeSuppression(t *testing.T) {
+	src := strings.Replace(simtimeSrc,
+		"_ = time.Now()",
+		"_ = time.Now() //xoarlint:allow(simtime) wall-clock needed for log banner only", 1)
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	diags := diagsOf(t, "simtime", p)
+	wantDiags(t, diags,
+		"time.Sleep breaks simulation determinism",
+		"clock.Now breaks simulation determinism",
+		"rand.Intn uses the process-global random source",
+	)
+}
+
+// --- layering ----------------------------------------------------------------
+
+const layeringSrc = `package netdrv
+
+import (
+	"xoar/internal/blkdrv"
+	"xoar/internal/hv"
+	"xoar/internal/sim"
+	"xoar/internal/xenstore"
+	"xoar/internal/xtypes"
+)
+
+var (
+	_ = blkdrv.X
+	_ = hv.X
+	_ = sim.X
+	_ = xenstore.X
+	_ = xtypes.X
+)
+`
+
+func TestLayeringFlagsCrossServiceImport(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/netdrv", layeringSrc)
+	diags := diagsOf(t, "layering", p)
+	// blkdrv is flagged; hv/sim/xtypes are shared leaves and xenstore is the
+	// sanctioned client-library edge.
+	wantDiags(t, diags, "service package netdrv imports service package blkdrv")
+}
+
+func TestLayeringIgnoresNonServicePackages(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/boot", strings.Replace(layeringSrc, "package netdrv", "package boot", 1))
+	if diags := diagsOf(t, "layering", p); len(diags) != 0 {
+		t.Fatalf("layering fired for a non-service importer: %v", diags)
+	}
+}
+
+func TestLayeringExemptsTestFiles(t *testing.T) {
+	p := loadSrcFile(t, "xoar/internal/netdrv", "wire_test.go", layeringSrc)
+	if diags := diagsOf(t, "layering", p); len(diags) != 0 {
+		t.Fatalf("layering fired for a test harness: %v", diags)
+	}
+}
+
+func TestLayeringSuppression(t *testing.T) {
+	src := strings.Replace(layeringSrc,
+		`"xoar/internal/blkdrv"`,
+		`//xoarlint:allow(layering) frontend halves only; no backend state shared
+	"xoar/internal/blkdrv"`, 1)
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	if diags := diagsOf(t, "layering", p); len(diags) != 0 {
+		t.Fatalf("suppressed import still flagged: %v", diags)
+	}
+}
+
+// --- errwrap -----------------------------------------------------------------
+
+const errwrapSrc = `package toolstack
+
+import (
+	"fmt"
+
+	"xoar/internal/xtypes"
+)
+
+func bad(dom int) error {
+	return fmt.Errorf("attach %d: %v", dom, xtypes.ErrPerm)
+}
+
+func alsoBad(dom int) error {
+	return fmt.Errorf("attach %d failed", xtypes.ErrNotShard)
+}
+
+func fine(dom int) error {
+	return fmt.Errorf("attach %d: %w", dom, xtypes.ErrPerm)
+}
+
+func fineNonSentinel(err error) error {
+	return fmt.Errorf("plain: %v", err)
+}
+`
+
+func TestErrwrapFlagsUnwrappedSentinels(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/toolstack", errwrapSrc)
+	diags := diagsOf(t, "errwrap", p)
+	wantDiags(t, diags,
+		"xtypes.ErrPerm must be wrapped with %w (not %v)",
+		"xtypes.ErrNotShard must be wrapped with %w (not %d)",
+	)
+}
+
+func TestErrwrapSuppression(t *testing.T) {
+	src := strings.Replace(errwrapSrc,
+		`return fmt.Errorf("attach %d: %v", dom, xtypes.ErrPerm)`,
+		`//xoarlint:allow(errwrap) message is for display only, never matched
+	return fmt.Errorf("attach %d: %v", dom, xtypes.ErrPerm)`, 1)
+	p := loadSrc(t, "xoar/internal/toolstack", src)
+	wantDiags(t, diagsOf(t, "errwrap", p), "xtypes.ErrNotShard")
+}
+
+// --- suppression policy ------------------------------------------------------
+
+func TestSuppressionRequiresJustification(t *testing.T) {
+	src := strings.Replace(simtimeSrc,
+		"_ = time.Now()",
+		"_ = time.Now() //xoarlint:allow(simtime)", 1)
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	policy := diagsOf(t, "xoarlint", p)
+	wantDiags(t, policy, "suppression requires a justification")
+	// The bare allow comment does not suppress anything.
+	if diags := diagsOf(t, "simtime", p); len(diags) != 4 {
+		t.Fatalf("unjustified suppression silenced a diagnostic: %v", diags)
+	}
+}
+
+func TestSuppressionRejectsUnknownAnalyzer(t *testing.T) {
+	src := strings.Replace(simtimeSrc,
+		"_ = time.Now()",
+		"_ = time.Now() //xoarlint:allow(simtiem) typo in the name", 1)
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	wantDiags(t, diagsOf(t, "xoarlint", p), `unknown analyzer "simtiem"`)
+}
+
+// --- framework ---------------------------------------------------------------
+
+func TestRegisteredAnalyzers(t *testing.T) {
+	want := map[string]bool{"privcheck": true, "simtime": true, "layering": true, "errwrap": true}
+	for _, a := range Analyzers() {
+		delete(want, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc line", a.Name)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing analyzers: %v", want)
+	}
+}
+
+func TestLoadModuleFindsThisPackage(t *testing.T) {
+	pkgs, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pkgs {
+		if p.Path == "xoar/internal/xoarlint" && p.Name == "xoarlint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("LoadModule did not surface xoar/internal/xoarlint")
+	}
+}

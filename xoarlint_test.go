@@ -1,0 +1,25 @@
+package xoar
+
+// This test wires xoarlint into tier-1: `go test ./...` fails on any
+// violation of the statically enforced invariants (see internal/xoarlint
+// and the "Statically enforced invariants" section of DESIGN.md), so the
+// linter cannot drift out of CI or local workflows.
+
+import (
+	"testing"
+
+	"xoar/internal/xoarlint"
+)
+
+func TestXoarlintModuleClean(t *testing.T) {
+	pkgs, err := xoarlint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, d := range xoarlint.RunAll(pkgs) {
+		t.Errorf("%s", d)
+	}
+}
