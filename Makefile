@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench
+.PHONY: build test race vet fmt lint check bench bench-diff
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ race:
 # snapshot as JSON — the machine-readable counterpart of `xoarbench`.
 bench:
 	$(GO) run ./cmd/xoarbench -metrics -json
+
+# bench-diff is the CI benchmark-regression gate: run the gated benchmarks
+# once (the sim is deterministic, so one iteration is exact) and compare
+# their custom metrics against the checked-in baseline. After an intentional
+# performance change, refresh the baseline with:
+#   go run ./cmd/benchdiff -baseline BENCH_baseline.json -update bench.out
+bench-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot' -benchtime=1x . | tee bench.out
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
 
 # check is the tier-1 gate: build + tests, plus vet, gofmt and xoarlint as
 # guards.

@@ -63,6 +63,30 @@ func BenchmarkTable62_Boot(b *testing.B) {
 	}
 }
 
+// BenchmarkBootPipeline measures the SubmitAll build pipeline: makespan of
+// an 8-guest fleet built serially (8 Submits) vs as one pipelined batch
+// (construct of guest i+1 overlapped with the supervised boot of guest i).
+// The pipelined makespan must be strictly below the serial sum — this is
+// the metric BENCH_baseline.json gates in CI.
+func BenchmarkBootPipeline(b *testing.B) {
+	const fleet = 8
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.BootPipeline(fleet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial := findRow(b, t, "serial Submit makespan").Measured
+		pipelined := findRow(b, t, "pipelined SubmitAll makespan").Measured
+		if pipelined >= serial {
+			b.Fatalf("pipelined makespan %.3fs not below serial %.3fs", pipelined, serial)
+		}
+		b.ReportMetric(serial, "s-serial")
+		b.ReportMetric(pipelined, "s-pipelined")
+		b.ReportMetric(serial/pipelined, "x-speedup")
+		b.ReportMetric(findRow(b, t, "construct overlap reclaimed").Measured, "ms-reclaimed")
+	}
+}
+
 // BenchmarkFig61_Postmark regenerates Figure 6.1: Postmark disk throughput.
 func BenchmarkFig61_Postmark(b *testing.B) {
 	for i := 0; i < b.N; i++ {

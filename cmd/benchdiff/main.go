@@ -1,0 +1,205 @@
+// Command benchdiff is the CI benchmark-regression gate: it parses `go test
+// -bench` output, compares the custom metrics the benchmarks report (boot
+// makespans, Table 6.1 totals, speedups — all deterministic under the sim's
+// fixed seeds) against a checked-in baseline, and exits non-zero when a
+// gated metric moves in its "worse" direction beyond tolerance.
+//
+//	go test -run '^$' -bench 'Pipeline|Table6' -benchtime=1x . > bench.out
+//	benchdiff -baseline BENCH_baseline.json bench.out
+//	benchdiff -baseline BENCH_baseline.json -update bench.out   # refresh values
+//
+// Only custom metrics (b.ReportMetric units) are gated — ns/op depends on
+// host load and is deliberately ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// MetricGate is one gated metric of one benchmark.
+type MetricGate struct {
+	// Bench is the benchmark name as printed (without the -N GOMAXPROCS
+	// suffix), e.g. "BenchmarkBootPipeline".
+	Bench string `json:"bench"`
+	// Metric is the custom unit reported via b.ReportMetric, e.g. "s-pipelined".
+	Metric string `json:"metric"`
+	// Value is the baseline.
+	Value float64 `json:"value"`
+	// Worse names the regression direction: "higher" (latency-like),
+	// "lower" (throughput/speedup-like), or "either" (pinned value).
+	Worse string `json:"worse"`
+	// Tolerance overrides the file-level tolerance when > 0.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Note is a human-readable reminder of what the metric means.
+	Note string `json:"note,omitempty"`
+}
+
+// Baseline is the checked-in gate file.
+type Baseline struct {
+	// Tolerance is the default relative tolerance band (0.05 = 5%).
+	Tolerance float64      `json:"tolerance"`
+	Metrics   []MetricGate `json:"metrics"`
+}
+
+// parseBench extracts benchmark -> metric unit -> value from `go test
+// -bench` output. Result lines look like:
+//
+//	BenchmarkBootPipeline   1   1080531 ns/op   104.0 s-pipelined   1.001 x-speedup
+//
+// i.e. name, iteration count, then value/unit pairs.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the GOMAXPROCS suffix (BenchmarkFoo-8 -> BenchmarkFoo).
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line (e.g. "BenchmarkFoo\t--- FAIL")
+		}
+		metrics := out[name]
+		if metrics == nil {
+			metrics = make(map[string]float64)
+			out[name] = metrics
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: %s: bad value %q", name, fields[i])
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// check compares one gate against a measured value and returns a non-empty
+// complaint on regression.
+func check(g MetricGate, got, defaultTol float64) string {
+	tol := g.Tolerance
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	band := tol * math.Abs(g.Value)
+	switch g.Worse {
+	case "higher":
+		if got > g.Value+band {
+			return fmt.Sprintf("%.6g exceeds baseline %.6g by more than %.4g%%", got, g.Value, tol*100)
+		}
+	case "lower":
+		if got < g.Value-band {
+			return fmt.Sprintf("%.6g falls below baseline %.6g by more than %.4g%%", got, g.Value, tol*100)
+		}
+	case "either":
+		if math.Abs(got-g.Value) > band {
+			return fmt.Sprintf("%.6g deviates from pinned baseline %.6g by more than %.4g%%", got, g.Value, tol*100)
+		}
+	default:
+		return fmt.Sprintf("bad gate direction %q (want higher/lower/either)", g.Worse)
+	}
+	return ""
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline gate file")
+	update := flag.Bool("update", false, "rewrite the baseline's values from this run instead of gating")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-update] [bench-output-file]")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if base.Tolerance <= 0 {
+		base.Tolerance = 0.05
+	}
+
+	results, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in input")
+		os.Exit(2)
+	}
+
+	failures := 0
+	for i, g := range base.Metrics {
+		got, ok := results[g.Bench][g.Metric]
+		if !ok {
+			// A gated metric that vanished is a regression, not a skip —
+			// otherwise deleting a benchmark silently drops its gate.
+			fmt.Printf("FAIL %s %s: metric missing from run\n", g.Bench, g.Metric)
+			failures++
+			continue
+		}
+		if *update {
+			base.Metrics[i].Value = got
+			fmt.Printf("  ok %s %s: baseline <- %.6g\n", g.Bench, g.Metric, got)
+			continue
+		}
+		if msg := check(g, got, base.Tolerance); msg != "" {
+			fmt.Printf("FAIL %s %s: %s\n", g.Bench, g.Metric, msg)
+			failures++
+		} else {
+			fmt.Printf("  ok %s %s: %.6g (baseline %.6g, worse=%s)\n", g.Bench, g.Metric, got, g.Value, g.Worse)
+		}
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d gated metric(s) regressed vs %s\n", failures, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d gated metric(s) within tolerance\n", len(base.Metrics))
+}

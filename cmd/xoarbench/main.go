@@ -7,6 +7,7 @@
 //	xoarbench -markdown        # emit EXPERIMENTS.md-style sections
 //	xoarbench -metrics         # boot Xoar, run a workload, dump telemetry
 //	xoarbench -metrics -json   # same, as JSON
+//	xoarbench -trace out.json  # Chrome trace_event JSON of a batched boot
 package main
 
 import (
@@ -19,12 +20,29 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids: table6.1,table6.2,fig6.1,fig6.2,fig6.3,fig6.4,fig6.5,sec-tcb,sec-attacks,ablations,telemetry")
+	exp := flag.String("exp", "all", "comma-separated experiment ids: table6.1,table6.2,fig6.1,fig6.2,fig6.3,fig6.4,fig6.5,sec-tcb,sec-attacks,ablations,telemetry,boot-pipeline")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = the paper's sizes)")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of text tables")
 	metrics := flag.Bool("metrics", false, "boot the Xoar profile, run a workload, and print the telemetry snapshot")
 	jsonOut := flag.Bool("json", false, "with -metrics: emit the snapshot as JSON")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON (telemetry-enabled boot + batched fleet build) to this file")
 	flag.Parse()
+
+	if *traceOut != "" {
+		data, err := experiments.TraceJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "xoarbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+		if !*metrics && !expFlagSet() {
+			return
+		}
+	}
 
 	if *metrics {
 		snap, err := experiments.MetricsSnapshot()
@@ -44,13 +62,7 @@ func main() {
 		}
 		// -metrics alone is a snapshot dump; run experiments only when the
 		// user asked for some explicitly.
-		expSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "exp" {
-				expSet = true
-			}
-		})
-		if !expSet {
+		if !expFlagSet() {
 			return
 		}
 	}
@@ -81,6 +93,13 @@ func main() {
 		{"sec-attacks", experiments.KnownAttacks},
 		{"ablations", experiments.Ablations},
 		{"telemetry", experiments.Telemetry},
+		{"boot-pipeline", func() (experiments.Table, error) {
+			n := int(16 * *scale)
+			if n < 2 {
+				n = 2
+			}
+			return experiments.BootPipeline(n)
+		}},
 	}
 
 	ran := 0
@@ -105,4 +124,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xoarbench: no experiment matches %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// expFlagSet reports whether -exp was passed explicitly.
+func expFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			set = true
+		}
+	})
+	return set
 }

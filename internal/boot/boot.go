@@ -276,47 +276,32 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 
 	// --- udev: a driver domain per network and disk controller (§5.2). ------
 	type backendResult struct {
-		nb  *netdrv.Backend
-		bb  *blkdrv.Backend
-		err error
+		nb *netdrv.Backend
+		bb *blkdrv.Backend
 	}
-	devs := pl.PCIBack.Devices()
 	results := sim.NewChan[backendResult](h.Env)
-	expected := 0
-	bootBackend := func(dev interface {
-		Addr() xtypes.PCIAddr
-		Class() xtypes.DeviceClass
-	}) func(*sim.Proc) {
+	backendReq := func(dev hw.Device) builder.Request {
+		name := "netback"
+		image := osimage.ImgNetBack
+		if dev.Class() == xtypes.DevDisk {
+			name, image = "blkback", osimage.ImgBlkBack
+		}
+		return builder.Request{
+			Requester: bs.ID,
+			Name:      name,
+			Image:     image,
+			Shard:     true,
+			Privileges: hv.Assignment{
+				PCIDevices: []xtypes.PCIAddr{dev.Addr()},
+				Hypercalls: []xtypes.Hypercall{xtypes.HyperVMSnapshot},
+			},
+		}
+	}
+	startBackend := func(dev hw.Device, dom xtypes.DomID) func(*sim.Proc) {
 		return func(bp *sim.Proc) {
-			var image, name string
-			switch dev.Class() {
-			case xtypes.DevNIC:
-				image, name = osimage.ImgNetBack, "netback"
-			case xtypes.DevDisk:
-				image, name = osimage.ImgBlkBack, "blkback"
-			default:
-				results.Send(backendResult{})
-				return
-			}
-			dom, berr := pl.Builder.Submit(bp, builder.Request{
-				Requester: bs.ID,
-				Name:      name,
-				Image:     image,
-				Shard:     true,
-				Privileges: hv.Assignment{
-					PCIDevices: []xtypes.PCIAddr{dev.Addr()},
-					Hypercalls: []xtypes.Hypercall{xtypes.HyperVMSnapshot},
-				},
-			})
-			if berr != nil {
-				results.Send(backendResult{err: berr})
-				return
-			}
 			xs := pl.XenStoreLogic.Connect(dom, false)
 			switch dev.Class() {
 			case xtypes.DevNIC:
-				nic, _ := dev.(interface{ Addr() xtypes.PCIAddr })
-				_ = nic
 				b := netdrv.NewBackend(h, dom, findNIC(h, dev.Addr()), xs)
 				b.Start(bp)
 				h.VMSnapshot(dom)
@@ -329,22 +314,41 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 			}
 		}
 	}
-	for _, dev := range devs {
-		if dev.Class() != xtypes.DevNIC && dev.Class() != xtypes.DevDisk {
-			continue
+	var bdevs []hw.Device
+	for _, dev := range pl.PCIBack.Devices() {
+		if dev.Class() == xtypes.DevNIC || dev.Class() == xtypes.DevDisk {
+			bdevs = append(bdevs, dev)
 		}
-		expected++
-		if opts.Serialize {
-			bootBackend(dev)(p)
-		} else {
-			h.Env.Spawn("boot-"+dev.Name(), bootBackend(dev))
+	}
+	expected := len(bdevs)
+	if opts.Serialize {
+		for _, dev := range bdevs {
+			dom, berr := pl.Builder.Submit(p, backendReq(dev))
+			if berr != nil {
+				return nil, berr
+			}
+			startBackend(dev, dom)(p)
+		}
+	} else if expected > 0 {
+		// One batch for the whole driver fleet: the Builder validates every
+		// udev request before scrubbing the first page, then pipelines
+		// construction of shard i+1 with the supervised boot of shard i.
+		reqs := make([]builder.Request, expected)
+		for i, dev := range bdevs {
+			reqs[i] = backendReq(dev)
+		}
+		doms, errs := pl.Builder.SubmitAll(p, reqs)
+		for _, berr := range errs {
+			if berr != nil {
+				return nil, berr
+			}
+		}
+		for i, dev := range bdevs {
+			h.Env.Spawn("boot-"+dev.Name(), startBackend(dev, doms[i]))
 		}
 	}
 	for i := 0; i < expected; i++ {
 		res, _ := results.Recv(p)
-		if res.err != nil {
-			return nil, res.err
-		}
 		if res.nb != nil {
 			res.nb.SetMetrics(opts.Telemetry)
 			pl.NetBacks = append(pl.NetBacks, res.nb)
@@ -365,8 +369,9 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	pl.Timings.PingReady = p.Now()
 
 	// --- Toolstacks. ----------------------------------------------------------
-	for i := 0; i < opts.Toolstacks; i++ {
-		dom, terr := pl.Builder.Submit(p, builder.Request{
+	tsReqs := make([]builder.Request, opts.Toolstacks)
+	for i := range tsReqs {
+		tsReqs[i] = builder.Request{
 			Requester: bs.ID,
 			Name:      fmt.Sprintf("toolstack-%d", i),
 			Image:     osimage.ImgToolstack,
@@ -382,10 +387,28 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 					xtypes.HyperMapForeign,
 				},
 			},
-		})
-		if terr != nil {
-			return nil, terr
 		}
+	}
+	var tsDoms []xtypes.DomID
+	if opts.Serialize {
+		for _, req := range tsReqs {
+			dom, terr := pl.Builder.Submit(p, req)
+			if terr != nil {
+				return nil, terr
+			}
+			tsDoms = append(tsDoms, dom)
+		}
+	} else {
+		// The management fleet is also one pipelined batch.
+		doms, errs := pl.Builder.SubmitAll(p, tsReqs)
+		for _, terr := range errs {
+			if terr != nil {
+				return nil, terr
+			}
+		}
+		tsDoms = doms
+	}
+	for i, dom := range tsDoms {
 		ts := toolstack.New(h, dom, pl.XenStoreLogic, pl.Builder)
 		ts.Console = pl.Console
 		// Delegate every driver shard to the first toolstack by default;

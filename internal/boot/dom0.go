@@ -106,6 +106,10 @@ func BootDom0(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	p.Sleep(img.ServiceBoot)
 	pl.Timings.ConsoleReady = p.Now()
 
+	// The monolithic profile builds no shards through the Builder during
+	// boot — everything above came up in-process inside Dom0 — so there is
+	// no batch to SubmitAll here; the Builder exists only for post-boot
+	// guest creation (where toolstacks may still batch via SubmitAll).
 	pl.Builder = builder.New(h, d0.ID, cat, xs)
 	// Stock Xen has no microreboot machinery: Rollback/Rebuild/Recover on
 	// this profile refuse with xtypes.ErrNoMicroreboot (§3.3 is Xoar-only).

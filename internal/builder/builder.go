@@ -124,22 +124,45 @@ type record struct {
 // builderMetrics are the Builder's pre-resolved telemetry handles; all nil
 // when telemetry is disabled (every method no-ops on nil).
 type builderMetrics struct {
-	queueDepth *telemetry.Histogram // depth seen by each Submit at enqueue
-	queueWait  *telemetry.Histogram // ms a job waited before service
-	buildMS    *telemetry.Histogram // ms from service start to booted
-	builds     *telemetry.Counter
-	denied     *telemetry.Counter
+	queueDepth    *telemetry.Histogram // depth seen by each Submit at enqueue
+	queueWait     *telemetry.Histogram // ms a job waited before service
+	buildMS       *telemetry.Histogram // ms from service start to booted
+	builds        *telemetry.Counter
+	denied        *telemetry.Counter
+	batches       *telemetry.Counter   // SubmitAll batches served
+	batchSize     *telemetry.Histogram // requests per batch
+	batchMakespan *telemetry.Histogram // ms from batch service start to last boot
 }
 
+// job is one queue entry: either a single request (req/reply) or a whole
+// SubmitAll batch (batch/batchReply). Exactly one of the two reply channels
+// is set.
 type job struct {
 	req   Request
 	reply *sim.Chan[jobResult]
-	enq   sim.Time // when Submit enqueued the job
+
+	batch      []Request
+	batchReply *sim.Chan[batchResult]
+
+	enq sim.Time // when Submit/SubmitAll enqueued the job
 }
 
 type jobResult struct {
 	dom xtypes.DomID
 	err error
+}
+
+// batchResult carries per-slot outcomes for a SubmitAll batch; doms and errs
+// are index-aligned with the submitted requests.
+type batchResult struct {
+	doms []xtypes.DomID
+	errs []error
+}
+
+// bootJob hands a freshly constructed domain to the batch boot supervisor.
+type bootJob struct {
+	name string
+	boot sim.Duration
 }
 
 // New returns a Builder bound to the given domain. xs must be a privileged
@@ -172,6 +195,10 @@ func (b *Builder) SetMetrics(reg *telemetry.Registry) {
 		buildMS:    reg.Histogram("builder_build_latency_ms", telemetry.LatencyMSBuckets),
 		builds:     reg.Counter("builder_builds_total"),
 		denied:     reg.Counter("builder_denied_total"),
+
+		batches:       reg.Counter("builder_batches_total"),
+		batchSize:     reg.Histogram("builder_batch_size", telemetry.DepthBuckets),
+		batchMakespan: reg.Histogram("builder_batch_makespan_ms", telemetry.LatencyMSBuckets),
 	}
 }
 
@@ -197,6 +224,10 @@ func (b *Builder) Serve(p *sim.Proc) {
 			return
 		}
 		b.m.queueWait.Observe(p.Now().Sub(j.enq).Milliseconds())
+		if j.batch != nil {
+			b.serveBatch(p, j)
+			continue
+		}
 		start := p.Now()
 		sp := b.tel.StartSpan("builder", "build:"+j.req.Name, start)
 		csp := sp.StartChild("construct", start)
@@ -215,6 +246,102 @@ func (b *Builder) Serve(p *sim.Proc) {
 	}
 }
 
+// serveBatch runs one SubmitAll batch as a two-stage pipeline.
+//
+// Stage 0 (validation, hoisted): every request is resolved before the first
+// page is scrubbed. A malformed or unprivileged request rejects the whole
+// batch — its slot carries the resolve error, every other slot carries
+// xtypes.ErrBatchAborted — and no build compute is consumed. Hoisting keeps
+// the fail-fast property of Submit while making the batch atomic: callers
+// never receive a half-built fleet because request k was misauthorized.
+//
+// Stage 1/2 (construct ∥ boot): construction stays on the Builder's vCPU,
+// one domain at a time, exactly as the single-request path — every
+// privileged hypercall remains attributable to one validated request. But
+// supervised boots move to a dedicated supervisor process, so while domain
+// i sleeps through bring-up the Builder is already computing page tables
+// and scrubbing pages for domain i+1. Boots themselves stay strictly
+// serialized (the supervisor sleeps them one after another, in FIFO
+// order), preserving the paper's one-at-a-time bring-up through the
+// Builder (Table 6.2): the pipeline overlaps scrub cost with boot latency,
+// it does not parallelize boots.
+//
+// The batch occupies the serve loop until its last boot completes, so
+// concurrent Submit callers keep the FIFO guarantees they had before.
+func (b *Builder) serveBatch(p *sim.Proc, j *job) {
+	n := len(j.batch)
+	doms := make([]xtypes.DomID, n)
+	errs := make([]error, n)
+	imgs := make([]osimage.Image, n)
+	resolved := make([]Request, n)
+	for i := range doms {
+		doms[i] = xtypes.DomIDNone
+	}
+
+	// Stage 0: validate everything up front; no compute spent on failure.
+	invalid := false
+	for i, req := range j.batch {
+		img, rr, err := b.resolve(req)
+		if err != nil {
+			errs[i] = err
+			invalid = true
+			b.Denied++
+			b.m.denied.Inc()
+			continue
+		}
+		imgs[i], resolved[i] = img, rr
+	}
+	if invalid {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = fmt.Errorf("builder: request %q: %w", j.batch[i].Name, xtypes.ErrBatchAborted)
+			}
+		}
+		j.batchReply.Send(batchResult{doms: doms, errs: errs})
+		return
+	}
+
+	start := p.Now()
+	sp := b.tel.StartSpan("builder", fmt.Sprintf("build-batch[%d]", n), start)
+	b.m.batches.Inc()
+	b.m.batchSize.Observe(float64(n))
+
+	// The boot supervisor serializes bring-up off the Builder's vCPU.
+	bootQ := sim.NewChan[bootJob](b.hv.Env)
+	bootsDone := sim.NewChan[struct{}](b.hv.Env)
+	b.hv.Env.Spawn("builder-batch-boot", func(bp *sim.Proc) {
+		for {
+			bj, ok := bootQ.Recv(bp)
+			if !ok {
+				break
+			}
+			bsp := sp.StartChild("boot:"+bj.name, bp.Now())
+			bp.Sleep(bj.boot)
+			bsp.EndAt(bp.Now())
+		}
+		bootsDone.Send(struct{}{})
+	})
+
+	for i := range resolved {
+		csp := sp.StartChild("construct:"+resolved[i].Name, p.Now())
+		dom, boot, err := b.construct(p, imgs[i], resolved[i])
+		csp.EndAt(p.Now())
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		doms[i] = dom
+		bootQ.Send(bootJob{name: resolved[i].Name, boot: boot})
+	}
+	bootQ.Close()
+	if _, ok := bootsDone.Recv(p); !ok {
+		return
+	}
+	sp.EndAt(p.Now())
+	b.m.batchMakespan.Observe(p.Now().Sub(start).Milliseconds())
+	j.batchReply.Send(batchResult{doms: doms, errs: errs})
+}
+
 // Submit enqueues a request and waits until the new domain is built and
 // booted. Safe to call from any process except the Builder's own serve
 // loop (which would deadlock — internal callers use BuildDirect).
@@ -230,6 +357,40 @@ func (b *Builder) Submit(p *sim.Proc, req Request) (xtypes.DomID, error) {
 		return xtypes.DomIDNone, res.err
 	}
 	return res.dom, nil
+}
+
+// SubmitAll enqueues a batch of requests as one unit of Builder work and
+// waits until every domain is built and booted (or the batch is rejected).
+// Results are index-aligned with reqs: doms[i] is the new domain for
+// reqs[i] (DomIDNone on failure) and errs[i] its error (nil on success).
+//
+// The batch is validated in full before any build compute is spent; one
+// invalid request fails the whole batch, with the remaining slots carrying
+// xtypes.ErrBatchAborted. Valid batches run as a two-stage pipeline (see
+// serveBatch): scrubbing of domain i+1 overlaps the supervised boot of
+// domain i, so the batch makespan is strictly below the serial Submit sum
+// while boots — and the FIFO order seen by concurrent Submit callers —
+// remain exactly as serialized as before.
+func (b *Builder) SubmitAll(p *sim.Proc, reqs []Request) ([]xtypes.DomID, []error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	batch := make([]Request, len(reqs))
+	copy(batch, reqs)
+	j := &job{batch: batch, batchReply: sim.NewChan[batchResult](b.hv.Env), enq: b.hv.Env.Now()}
+	b.queue.Send(j)
+	b.m.queueDepth.Observe(float64(b.queue.Len()))
+	res, ok := j.batchReply.Recv(p)
+	if !ok {
+		doms := make([]xtypes.DomID, len(reqs))
+		errs := make([]error, len(reqs))
+		for i := range errs {
+			doms[i] = xtypes.DomIDNone
+			errs[i] = fmt.Errorf("builder: %w", xtypes.ErrShutdown)
+		}
+		return doms, errs
+	}
+	return res.doms, res.errs
 }
 
 // BuildDirect performs a build synchronously in the caller's process,
@@ -328,6 +489,13 @@ func (b *Builder) build(p *sim.Proc, req Request) (xtypes.DomID, sim.Duration, e
 		b.m.denied.Inc()
 		return xtypes.DomIDNone, 0, err
 	}
+	return b.construct(p, img, req)
+}
+
+// construct spends the build compute and creates one domain from an
+// already-resolved request. Split from build so serveBatch can validate a
+// whole batch before the first page is scrubbed.
+func (b *Builder) construct(p *sim.Proc, img osimage.Image, req Request) (xtypes.DomID, sim.Duration, error) {
 	memMB := req.MemMB
 	if memMB <= 0 {
 		memMB = img.MemMB

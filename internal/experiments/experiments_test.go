@@ -333,3 +333,39 @@ func TestAblationsTable(t *testing.T) {
 		t.Errorf("deprivilegeable calls = %v", dep.Measured)
 	}
 }
+
+func TestBootPipelineBeatsSerial(t *testing.T) {
+	serial, pipelined, err := BootPipelineMakespans(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipelined >= serial {
+		t.Fatalf("pipelined makespan %v not below serial %v", pipelined, serial)
+	}
+	tbl, err := BootPipeline(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := findRow(t, tbl, "speedup")
+	if sp.Measured <= 1.0 {
+		t.Errorf("speedup = %v, want > 1", sp.Measured)
+	}
+	saved := findRow(t, tbl, "construct overlap reclaimed")
+	if saved.Measured <= 0 {
+		t.Errorf("reclaimed overlap = %vms, want > 0", saved.Measured)
+	}
+}
+
+func TestTraceJSONContainsBatchSpans(t *testing.T) {
+	data, err := TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"traceEvents"`) || !strings.Contains(s, "build-batch[") {
+		t.Fatalf("trace export missing batch spans: %.200s", s)
+	}
+	if !strings.Contains(s, "construct:trace-0") || !strings.Contains(s, "boot:trace-0") {
+		t.Fatal("trace export missing per-domain pipeline children")
+	}
+}

@@ -1,0 +1,174 @@
+// Parallel-boot experiment: the paper's §6 boot evaluation (Figure 6.4)
+// argues instantiation cost is dominated by serialized Builder work. This
+// artifact measures exactly the slice SubmitAll reclaims — page-table setup
+// and scrubbing overlapped with the previous domain's supervised boot —
+// by booting the same guest fleet twice on identically-seeded rigs: once
+// with N serial Submits, once with one pipelined SubmitAll batch.
+
+package experiments
+
+import (
+	"fmt"
+
+	"xoar/internal/boot"
+	"xoar/internal/builder"
+	"xoar/internal/hv"
+	"xoar/internal/hw"
+	"xoar/internal/osimage"
+	"xoar/internal/sim"
+	"xoar/internal/telemetry"
+)
+
+// pipelineGuestMB is the per-guest reservation for the fleet. Large guests
+// make the scrub stage (scrubPerMB per megabyte, on the Builder's vCPU)
+// worth overlapping — the same reason the paper's boot numbers are taken
+// on full-size guests.
+const pipelineGuestMB = 4096
+
+// bootXoarMachine boots the Xoar profile on an explicitly-sized machine —
+// fleets of 4GB guests do not fit the default 4GB testbed.
+func bootXoarMachine(seed int64, cfg hw.MachineConfig, opts boot.Options) (*Rig, error) {
+	env := sim.NewEnv(seed)
+	h := hv.New(env, hw.NewMachineWith(env, cfg))
+	var pl *boot.Platform
+	var err error
+	done := false
+	env.Spawn("boot", func(p *sim.Proc) {
+		pl, err = boot.BootXoar(p, h, osimage.DefaultCatalog(), opts)
+		done = true
+	})
+	env.RunFor(200 * sim.Second)
+	if err != nil {
+		return nil, err
+	}
+	if !done {
+		return nil, fmt.Errorf("experiments: boot did not complete")
+	}
+	return &Rig{Env: env, HV: h, PL: pl}, nil
+}
+
+// pipelineFleet returns the n build requests for the benchmark fleet,
+// issued by the rig's first toolstack.
+func pipelineFleet(r *Rig, n int) []builder.Request {
+	reqs := make([]builder.Request, n)
+	for i := range reqs {
+		reqs[i] = builder.Request{
+			Requester: r.PL.Toolstacks[0].Dom,
+			Name:      fmt.Sprintf("fleet-%d", i),
+			Image:     osimage.ImgGuestPV,
+			MemMB:     pipelineGuestMB,
+		}
+	}
+	return reqs
+}
+
+// BootPipelineMakespans boots two identically-seeded rigs and returns the
+// makespan of creating an n-guest fleet serially (n Submits) and pipelined
+// (one SubmitAll). Both are deterministic, so the comparison is exact.
+func BootPipelineMakespans(n int) (serial, pipelined sim.Duration, err error) {
+	cfg := hw.MachineConfig{CPUs: 8, RAMMB: 8192 + n*pipelineGuestMB, NICs: 1, Disks: 1}
+	limit := sim.Duration(n+4) * 20 * sim.Second
+
+	run := func(fn func(p *sim.Proc, r *Rig) (sim.Duration, error)) (sim.Duration, error) {
+		r, rerr := bootXoarMachine(42, cfg, boot.Options{})
+		if rerr != nil {
+			return 0, rerr
+		}
+		defer r.Close()
+		var d sim.Duration
+		var ferr error
+		if gerr := r.Go(limit, func(p *sim.Proc) { d, ferr = fn(p, r) }); gerr != nil {
+			return 0, gerr
+		}
+		return d, ferr
+	}
+
+	serial, err = run(func(p *sim.Proc, r *Rig) (sim.Duration, error) {
+		start := p.Now()
+		for _, req := range pipelineFleet(r, n) {
+			if _, serr := r.PL.Builder.Submit(p, req); serr != nil {
+				return 0, serr
+			}
+		}
+		return p.Now().Sub(start), nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	pipelined, err = run(func(p *sim.Proc, r *Rig) (sim.Duration, error) {
+		start := p.Now()
+		_, errs := r.PL.Builder.SubmitAll(p, pipelineFleet(r, n))
+		for _, berr := range errs {
+			if berr != nil {
+				return 0, berr
+			}
+		}
+		return p.Now().Sub(start), nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return serial, pipelined, nil
+}
+
+// BootPipeline renders the serial-vs-pipelined comparison as a table.
+func BootPipeline(n int) (Table, error) {
+	serial, pipelined, err := BootPipelineMakespans(n)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "boot-pipeline",
+		Title: fmt.Sprintf("Parallel boot: %d-guest fleet, serial Submit vs pipelined SubmitAll", n),
+		Rows: []Row{
+			{Label: "fleet size", Measured: float64(n), Unit: "domains"},
+			{Label: "serial Submit makespan", Measured: serial.Seconds(), Unit: "s"},
+			{Label: "pipelined SubmitAll makespan", Measured: pipelined.Seconds(), Unit: "s"},
+			{Label: "construct overlap reclaimed", Measured: (serial - pipelined).Milliseconds(), Unit: "ms"},
+			{Label: "speedup", Measured: serial.Seconds() / pipelined.Seconds(), Unit: "x"},
+		},
+		Notes: []string{
+			"Boots stay serialized through the Builder (Table 6.2's constraint); the pipeline only overlaps page-table setup + scrubbing with the previous guest's boot.",
+			"Figure 6.4's qualitative claim — instantiation throughput is bounded by serialized Builder work, not by steady-state overhead — is what the reclaimed-overlap row quantifies.",
+		},
+	}
+	return t, nil
+}
+
+// TraceJSON boots the Xoar profile with telemetry, creates a small guest
+// fleet through one SubmitAll batch, and returns the span buffer as Chrome
+// trace_event JSON — the build-batch construct/boot overlap is directly
+// visible on the builder track in chrome://tracing or Perfetto.
+func TraceJSON() ([]byte, error) {
+	reg := telemetry.New()
+	rig, err := BootRigOpts(Xoar, 1, boot.Options{Telemetry: reg})
+	if err != nil {
+		return nil, err
+	}
+	defer rig.Close()
+	reqs := make([]builder.Request, 4)
+	for i := range reqs {
+		reqs[i] = builder.Request{
+			Requester: rig.PL.Toolstacks[0].Dom,
+			Name:      fmt.Sprintf("trace-%d", i),
+			Image:     osimage.ImgGuestPV,
+			MemMB:     512,
+		}
+	}
+	var batchErr error
+	if err := rig.Go(300*sim.Second, func(p *sim.Proc) {
+		_, errs := rig.PL.Builder.SubmitAll(p, reqs)
+		for _, berr := range errs {
+			if berr != nil {
+				batchErr = berr
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	return reg.Tracer().ChromeTrace()
+}

@@ -338,3 +338,81 @@ func TestLoadModuleFindsThisPackage(t *testing.T) {
 		t.Fatal("LoadModule did not surface xoar/internal/xoarlint")
 	}
 }
+
+// --- gohygiene ---------------------------------------------------------------
+
+func TestGohygieneFlagsBareGoStatement(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/widget", `package widget
+
+func work() {}
+
+func start() {
+	go work()
+}
+`)
+	wantDiags(t, diagsOf(t, "gohygiene", p), "bare go statement")
+}
+
+func TestGohygieneExemptsSimAndTests(t *testing.T) {
+	sim := loadSrc(t, "xoar/internal/sim", `package sim
+
+func runner() {}
+
+func schedule() {
+	go runner()
+}
+`)
+	wantDiags(t, diagsOf(t, "gohygiene", sim))
+
+	// _test.go files may use real goroutines (e.g. hammering telemetry
+	// under -race).
+	tst := loadSrcFile(t, "xoar/internal/widget", "widget_test.go", `package widget
+
+func hammer() {}
+
+func TestParallel(t *testingT) {
+	go hammer()
+}
+
+type testingT interface{}
+`)
+	wantDiags(t, diagsOf(t, "gohygiene", tst))
+
+	// Non-internal packages (cmd/...) are out of scope.
+	cmd := loadSrc(t, "xoar/cmd/tool", `package main
+
+func work() {}
+
+func main() {
+	go work()
+}
+`)
+	wantDiags(t, diagsOf(t, "gohygiene", cmd))
+}
+
+func TestGohygieneSuppression(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/widget", `package widget
+
+func work() {}
+
+func start() {
+	//xoarlint:allow(gohygiene) bridging to an external OS resource outside the sim
+	go work()
+}
+`)
+	wantDiags(t, diagsOf(t, "gohygiene", p))
+
+	// A suppression without justification is itself a diagnostic.
+	bare := loadSrc(t, "xoar/internal/widget", `package widget
+
+func work() {}
+
+func start() {
+	//xoarlint:allow(gohygiene)
+	go work()
+}
+`)
+	if len(diagsOf(t, "allow", bare))+len(diagsOf(t, "gohygiene", bare)) == 0 {
+		t.Fatal("unjustified suppression raised no diagnostics")
+	}
+}

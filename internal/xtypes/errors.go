@@ -64,4 +64,11 @@ var (
 	// the monolithic Dom0 profile: stock Xen has no microreboot mechanism
 	// (§3.3 is Xoar-only), and seceval asserts the refusal.
 	ErrNoMicroreboot = errors.New("xoar: microreboots unavailable in the monolithic profile")
+
+	// ErrBatchAborted is returned for the valid requests of a SubmitAll
+	// batch whose validation failed elsewhere: the Builder validates a
+	// whole batch before spending any build compute, and one malformed or
+	// unprivileged request rejects the batch outright. The invalid request
+	// itself carries its own error (ErrPerm, ErrNotFound, ...).
+	ErrBatchAborted = errors.New("xoar: build batch aborted by invalid sibling request")
 )
