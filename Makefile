@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-diff
+.PHONY: build test race vet fmt lint matrix check bench bench-diff
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ fmt:
 lint:
 	$(GO) run ./cmd/xoarlint ./...
 
+# matrix regenerates PRIVMATRIX.json, the privilege matrix privflow derives
+# from internal/hv. TestPrivMatrixDrift fails until an hv privilege-surface
+# change is reflected here, so the diff always shows the widened surface.
+matrix:
+	$(GO) run ./cmd/xoarlint -matrix > PRIVMATRIX.json
+
 # race runs the full suite under the race detector (the telemetry layer is
 # exercised from parallel goroutines in its tests).
 race:
@@ -41,7 +47,7 @@ bench:
 # performance change, refresh the baseline with:
 #   go run ./cmd/benchdiff -baseline BENCH_baseline.json -update bench.out
 bench-diff:
-	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot' -benchtime=1x . | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark' -benchtime=1x . | tee bench.out
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
 
 # check is the tier-1 gate: build + tests, plus vet, gofmt and xoarlint as

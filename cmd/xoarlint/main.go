@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	xoarlint [-list] [./... | dir ...]
+//	xoarlint [-list] [-json | -sarif | -github] [-matrix] [./... | dir ...]
 //
 // With no arguments (or "./..."), the whole module containing the current
-// directory is analyzed. Exit status: 0 clean, 1 violations, 2 load failure.
+// directory is analyzed. Diagnostics print as text by default; -json emits
+// a JSON document, -sarif a SARIF 2.1.0 log, and -github GitHub Actions
+// ::error workflow commands for inline PR annotations.
+//
+// -matrix skips diagnostics and prints the privilege matrix built from
+// internal/hv (the PRIVMATRIX.json golden artifact) to stdout.
+//
+// Exit status: 0 clean, 1 violations, 2 load failure.
 package main
 
 import (
@@ -19,17 +26,25 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
+	githubOut := flag.Bool("github", false, "emit diagnostics as GitHub Actions ::error annotations")
+	matrix := flag.Bool("matrix", false, "print the internal/hv privilege matrix (PRIVMATRIX.json) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: xoarlint [-list] [./... | dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: xoarlint [-list] [-json | -sarif | -github] [-matrix] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range xoarlint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if countTrue(*jsonOut, *sarifOut, *githubOut) > 1 {
+		fmt.Fprintln(os.Stderr, "xoarlint: -json, -sarif and -github are mutually exclusive")
+		os.Exit(2)
 	}
 
 	var pkgs []*xoarlint.Package
@@ -54,12 +69,53 @@ func main() {
 		pkgs = append(pkgs, loaded...)
 	}
 
+	if *matrix {
+		m, err := xoarlint.BuildPrivMatrix(pkgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarlint: %v\n", err)
+			os.Exit(2)
+		}
+		b, err := m.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarlint: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+
 	diags := xoarlint.RunAll(pkgs)
-	for _, d := range diags {
-		fmt.Println(d)
+	cwd, _ := os.Getwd()
+	switch {
+	case *jsonOut:
+		if err := xoarlint.RenderJSON(os.Stdout, diags, cwd); err != nil {
+			fmt.Fprintf(os.Stderr, "xoarlint: %v\n", err)
+			os.Exit(2)
+		}
+	case *sarifOut:
+		if err := xoarlint.RenderSARIF(os.Stdout, diags, cwd); err != nil {
+			fmt.Fprintf(os.Stderr, "xoarlint: %v\n", err)
+			os.Exit(2)
+		}
+	case *githubOut:
+		xoarlint.RenderGitHub(os.Stdout, diags, cwd)
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "xoarlint: %d violation(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func countTrue(bs ...bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
 }

@@ -82,9 +82,10 @@ func (b *Builder) shardClass(dom xtypes.DomID) string {
 }
 
 // observeRestart records one restart-path duration under the shard's class.
-func (b *Builder) observeRestart(name, class string, d sim.Duration) {
-	b.tel.Histogram(name, telemetry.LatencyMSBuckets, telemetry.L("class", class)).
-		Observe(d.Milliseconds())
+// It takes the handle rather than a name: metric names stay literal at the
+// call sites so the series set is reviewable there (DESIGN.md §8).
+func (b *Builder) observeRestart(h *telemetry.Histogram, d sim.Duration) {
+	h.Observe(d.Milliseconds())
 }
 
 // Rollback rolls a shard back to its snapshot. The hypervisor audits the
@@ -106,7 +107,7 @@ func (b *Builder) Rollback(p *sim.Proc, dom xtypes.DomID) (int, error) {
 		return 0, err
 	}
 	p.Sleep(sim.Duration(dirty+1) * sim.Microsecond)
-	b.observeRestart("restart_rollback_ms", class, p.Now().Sub(start))
+	b.observeRestart(b.tel.Histogram("restart_rollback_ms", telemetry.LatencyMSBuckets, telemetry.L("class", class)), p.Now().Sub(start))
 	return restored, nil
 }
 
@@ -148,7 +149,7 @@ func (b *Builder) Rebuild(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
 			b.hv.VMSnapshot(newDom)
 		}
 	}
-	b.observeRestart("restart_rebuild_ms", class, p.Now().Sub(start))
+	b.observeRestart(b.tel.Histogram("restart_rebuild_ms", telemetry.LatencyMSBuckets, telemetry.L("class", class)), p.Now().Sub(start))
 	return newDom, nil
 }
 
@@ -170,7 +171,7 @@ func (b *Builder) Recover(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
 	sp := b.tel.StartSpan("builder", "recover:"+class, start)
 	defer func() { sp.EndAt(p.Now()) }()
 	if _, err := b.Rollback(p, dom); err == nil {
-		b.observeRestart("restart_recover_ms", class, p.Now().Sub(start))
+		b.observeRestart(b.tel.Histogram("restart_recover_ms", telemetry.LatencyMSBuckets, telemetry.L("class", class)), p.Now().Sub(start))
 		return dom, nil
 	}
 	newDom, err := b.Rebuild(p, dom)
@@ -181,6 +182,6 @@ func (b *Builder) Recover(p *sim.Proc, dom xtypes.DomID) (xtypes.DomID, error) {
 		}
 		return xtypes.DomIDNone, err
 	}
-	b.observeRestart("restart_recover_ms", class, p.Now().Sub(start))
+	b.observeRestart(b.tel.Histogram("restart_recover_ms", telemetry.LatencyMSBuckets, telemetry.L("class", class)), p.Now().Sub(start))
 	return newDom, nil
 }

@@ -46,6 +46,7 @@ func (h *Hypervisor) AssignPrivileges(caller, target xtypes.DomID, a Assignment)
 	}
 	for _, hc := range a.Hypercalls {
 		d.priv.Hypercalls[hc] = true
+		h.emit("permit-hypercall", target, hc.String())
 	}
 	for _, g := range a.DelegateTo {
 		d.delegates[g] = true
@@ -53,9 +54,11 @@ func (h *Hypervisor) AssignPrivileges(caller, target xtypes.DomID, a Assignment)
 	}
 	for _, r := range a.IOPorts {
 		d.ioPorts[r] = true
+		h.emit("grant-ioports", target, r)
 	}
 	if a.ControlAll {
 		d.priv.ControlAll = true
+		h.emit("control-all", target, "")
 	}
 	return nil
 }
@@ -94,6 +97,7 @@ func (h *Hypervisor) SetParentTool(caller, guest, tool xtypes.DomID) error {
 		return err
 	}
 	d.parentTool = tool
+	h.emit("set-parent", guest, tool.String())
 	return nil
 }
 
@@ -144,9 +148,14 @@ func (h *Hypervisor) UnlinkShardClient(caller, shard, guest xtypes.DomID) error 
 		return err
 	}
 	if !h.controls(caller, d) {
+		h.DeniedCalls++
 		return fmt.Errorf("hv: unlink %v->%v by %v: %w", guest, shard, caller, xtypes.ErrPerm)
 	}
 	delete(d.clients, guest)
+	// The log's interval index keys on this record to close the guest's
+	// exposure window; without it DependentsOf kept reporting unlinked
+	// clients as dependents forever.
+	h.emit("unlink-shard", shard, guest.String())
 	return nil
 }
 
@@ -317,6 +326,7 @@ func (h *Hypervisor) RouteHardwareVIRQ(caller xtypes.DomID, virq xtypes.VIRQ, do
 		return err
 	}
 	h.virqRoutes[virq] = dom
+	h.emit("route-virq", dom, virq.String())
 	return nil
 }
 
@@ -344,9 +354,11 @@ func (h *Hypervisor) GrantIOPorts(caller, target xtypes.DomID, rangeName string)
 		return err
 	}
 	if !h.controls(caller, d) {
+		h.DeniedCalls++
 		return fmt.Errorf("hv: ioports %q to %v by %v: %w", rangeName, target, caller, xtypes.ErrPerm)
 	}
 	d.ioPorts[rangeName] = true
+	h.emit("grant-ioports", target, rangeName)
 	return nil
 }
 

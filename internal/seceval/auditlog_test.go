@@ -1,0 +1,117 @@
+package seceval
+
+import (
+	"testing"
+
+	"xoar/internal/audit"
+	"xoar/internal/hv"
+	"xoar/internal/hw"
+	"xoar/internal/sim"
+	"xoar/internal/xtypes"
+)
+
+// Regression tests for the audit-trail gaps found by xoarlint's auditlog
+// pass: privilege-topology mutations in hv that never reached the
+// hash-chained log. The forensic queries (§3.2.2) are only as good as the
+// records underneath them, so each fixed emit is pinned here.
+
+func newAuditedHV(t *testing.T) (*sim.Env, *hv.Hypervisor, *audit.Log) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	h := hv.New(env, hw.NewMachine(env))
+	h.EnforceShardIVC = true
+	log := audit.NewLog()
+	h.Sink = func(e hv.Event) { log.Append(e.Time, e.Kind, e.Dom, e.Arg) }
+	return env, h, log
+}
+
+func mkAuditedDom(t *testing.T, h *hv.Hypervisor, name string, shard bool) *hv.Domain {
+	t.Helper()
+	d, err := h.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: name, MemMB: 64, Shard: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Unpause(hv.SystemCaller, d.ID); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestUnlinkClosesExposureWindow is the headline regression: hv never
+// emitted "unlink-shard", even though the log's interval index already
+// parsed it, so DependentsOf reported unlinked clients as exposed until
+// the shard died. With the emit in place the window closes at unlink time.
+func TestUnlinkClosesExposureWindow(t *testing.T) {
+	env, h, log := newAuditedHV(t)
+	shard := mkAuditedDom(t, h, "netback", true)
+	guest := mkAuditedDom(t, h, "guest", false)
+
+	env.RunFor(10 * sim.Second)
+	if err := h.LinkShardClient(hv.SystemCaller, shard.ID, guest.ID); err != nil {
+		t.Fatal(err)
+	}
+	linked := env.RunFor(10 * sim.Second)
+	if err := h.UnlinkShardClient(hv.SystemCaller, shard.ID, guest.ID); err != nil {
+		t.Fatal(err)
+	}
+	unlinked := env.RunFor(10 * sim.Second)
+
+	if got := log.KindCount("unlink-shard"); got != 1 {
+		t.Fatalf("unlink-shard records = %d, want 1", got)
+	}
+	// While linked, the guest is a dependent of the shard.
+	if got := log.DependentsOf(shard.ID, 0, linked); len(got) != 1 || got[0] != guest.ID {
+		t.Fatalf("dependents while linked = %v, want [%v]", got, guest.ID)
+	}
+	// After the unlink, a disjoint later window must be empty — this is
+	// exactly the query that lied before the fix.
+	if got := log.DependentsOf(shard.ID, unlinked, unlinked.Add(sim.Second)); len(got) != 0 {
+		t.Fatalf("dependents after unlink = %v, want none", got)
+	}
+	if i := log.Verify(); i != -1 {
+		t.Fatalf("hash chain broken at record %d", i)
+	}
+}
+
+// TestPrivilegeMutationsAudited pins the remaining emits added for the
+// auditlog pass: toolstack reparenting, I/O-port grants, VIRQ rerouting,
+// and the Figure 3.1 assignment calls (permit_hypercall et al).
+func TestPrivilegeMutationsAudited(t *testing.T) {
+	_, h, log := newAuditedHV(t)
+	shard := mkAuditedDom(t, h, "blkback", true)
+	guest := mkAuditedDom(t, h, "guest", false)
+
+	if err := h.SetParentTool(hv.SystemCaller, guest.ID, shard.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.GrantIOPorts(hv.SystemCaller, shard.ID, "console"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RouteHardwareVIRQ(hv.SystemCaller, xtypes.VIRQConsole, shard.ID); err != nil {
+		t.Fatal(err)
+	}
+	err := h.AssignPrivileges(hv.SystemCaller, shard.ID, hv.Assignment{
+		Hypercalls: []xtypes.Hypercall{xtypes.HyperGrantTableOp},
+		IOPorts:    []string{"pci"},
+		ControlAll: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]int{
+		"set-parent":       1,
+		"grant-ioports":    2, // GrantIOPorts + AssignPrivileges.IOPorts
+		"route-virq":       1,
+		"permit-hypercall": 1,
+		"control-all":      1,
+	}
+	for kind, n := range want {
+		if got := log.KindCount(kind); got != n {
+			t.Errorf("%s records = %d, want %d", kind, got, n)
+		}
+	}
+	if i := log.Verify(); i != -1 {
+		t.Fatalf("hash chain broken at record %d", i)
+	}
+}

@@ -1,0 +1,89 @@
+package xoarlint
+
+import (
+	"strings"
+	"testing"
+)
+
+// auditlogSrc covers the emit-presence analysis: direct emits, emits and
+// mutations carried through helpers, delete-based mutations, and the two
+// gap shapes (no emit at all, mutation in a helper the entry point calls).
+const auditlogSrc = `package hv
+
+import "xoar/internal/xtypes"
+
+type Domain struct {
+	State      int
+	parentTool xtypes.DomID
+}
+
+type Hypervisor struct {
+	domains    map[xtypes.DomID]*Domain
+	virqRoutes map[int]xtypes.DomID
+}
+
+func (h *Hypervisor) emit(kind string, dom xtypes.DomID, arg string) {}
+
+func (h *Hypervisor) teardown(d *Domain) {
+	d.State = 9
+	h.emit("destroy", 0, "")
+}
+
+// Direct mutation, direct emit: clean.
+func (h *Hypervisor) Pause(caller, target xtypes.DomID) error {
+	h.domains[target].State = 1
+	h.emit("pause", target, "")
+	return nil
+}
+
+// Mutation and emit both live in the helper: clean.
+func (h *Hypervisor) Destroy(caller, target xtypes.DomID) error {
+	h.teardown(h.domains[target])
+	delete(h.domains, target)
+	return nil
+}
+
+// Lifecycle mutation, no emit anywhere: flagged.
+func (h *Hypervisor) SetParent(caller, guest, tool xtypes.DomID) error {
+	h.domains[guest].parentTool = tool
+	return nil
+}
+
+// Map delete on hypervisor state, no emit: flagged.
+func (h *Hypervisor) DropRoute(caller xtypes.DomID, virq int) error {
+	delete(h.virqRoutes, virq)
+	return nil
+}
+
+// Read-only entry point: out of scope.
+func (h *Hypervisor) Lookup(caller, target xtypes.DomID) *Domain {
+	return h.domains[target]
+}
+`
+
+func TestAuditlogGaps(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/hv", auditlogSrc)
+	wantDiags(t, diagsOf(t, "auditlog", p),
+		"hv.SetParent mutates lifecycle/privilege state (Domain.parentTool) without appending an audit event via h.emit",
+		"hv.DropRoute mutates lifecycle/privilege state (virqRoutes) without appending an audit event via h.emit",
+	)
+}
+
+func TestAuditlogScopedToHV(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/other", auditlogSrc)
+	if diags := diagsOf(t, "auditlog", p); len(diags) != 0 {
+		t.Fatalf("auditlog fired outside internal/hv: %v", diags)
+	}
+}
+
+func TestAuditlogSuppression(t *testing.T) {
+	src := strings.Replace(auditlogSrc,
+		"func (h *Hypervisor) SetParent(",
+		"//xoarlint:allow(auditlog) reparenting is logged by the caller\nfunc (h *Hypervisor) SetParent(", 1)
+	p := loadSrc(t, "xoar/internal/hv", src)
+	for _, d := range diagsOf(t, "auditlog", p) {
+		if strings.Contains(d.Message, "SetParent") {
+			t.Fatalf("suppressed diagnostic still reported: %v", d)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package xoarlint
+
+import (
+	"strings"
+	"testing"
+)
+
+const metricnamesSrc = `package netdrv
+
+import (
+	"fmt"
+
+	"xoar/internal/telemetry"
+	"xoar/internal/xtypes"
+)
+
+func wire(reg *telemetry.Registry, dom xtypes.DomID, name string) {
+	// Clean sites: canonical names, bounded labels.
+	reg.Counter("netback_drops_total", telemetry.L("dir", "rx")).Inc()
+	reg.Histogram("netback_ring_rtt_us", nil, telemetry.L("op", "read")).Observe(1)
+	reg.Gauge("netback_queue_depth").Set(0)
+
+	// Violations.
+	reg.Histogram(name, nil).Observe(1)
+	reg.Counter("netback_drops").Inc()
+	reg.Gauge("netback_pkts_total").Set(1)
+	reg.Histogram("netback_rtt_millis", nil).Observe(1)
+	reg.Counter("BadName_total").Inc()
+	reg.Counter("netback_sent_total", telemetry.L("guest", fmt.Sprintf("dom%d", dom))).Inc()
+	reg.Counter("netback_seen_total", telemetry.L("Dir", "rx")).Inc()
+}
+`
+
+func TestMetricnames(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/netdrv", metricnamesSrc)
+	wantDiags(t, diagsOf(t, "metricnames", p),
+		"Histogram metric name must be a string literal",
+		`counter "netback_drops" must end in _total`,
+		`gauge "netback_pkts_total" must not end in _total`,
+		`non-canonical unit suffix "millis"; use "ms"`,
+		`metric name "BadName_total" is not component_quantity_unit snake_case`,
+		"label value built with fmt.Sprintf is unbounded",
+		`label key "Dir" is not a short lowercase identifier`,
+	)
+}
+
+func TestMetricnamesSkipsTelemetryItself(t *testing.T) {
+	p := loadSrc(t, "xoar/internal/telemetry", metricnamesSrc)
+	if diags := diagsOf(t, "metricnames", p); len(diags) != 0 {
+		t.Fatalf("metricnames fired inside internal/telemetry: %v", diags)
+	}
+}
+
+func TestMetricnamesIgnoresNonTelemetryFiles(t *testing.T) {
+	src := `package other
+
+type fake struct{}
+
+func (fake) Counter(name string) {}
+
+func use(f fake, n string) { f.Counter(n) }
+`
+	p := loadSrc(t, "xoar/internal/other", src)
+	if diags := diagsOf(t, "metricnames", p); len(diags) != 0 {
+		t.Fatalf("metricnames fired in a file not importing telemetry: %v", diags)
+	}
+}
+
+func TestMetricnamesSuppression(t *testing.T) {
+	src := strings.Replace(metricnamesSrc,
+		`reg.Counter("netback_drops").Inc()`,
+		`reg.Counter("netback_drops").Inc() //xoarlint:allow(metricnames) legacy exporter expects this name`, 1)
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	for _, d := range diagsOf(t, "metricnames", p) {
+		if strings.Contains(d.Message, "netback_drops\"") {
+			t.Fatalf("suppressed diagnostic still reported: %v", d)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package xoarlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable diagnostic output, consumed by the CI lint job: -json
+// for tooling, SARIF 2.1.0 for code-scanning upload, and GitHub workflow
+// commands for inline PR annotations. File paths are relativized against
+// root (the invocation directory) so annotations resolve inside the
+// repository checkout regardless of the runner's absolute paths.
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// RenderJSON writes diagnostics as a single JSON document.
+func RenderJSON(w io.Writer, diags []Diagnostic, root string) error {
+	out := struct {
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}{Diagnostics: []jsonDiagnostic{}}
+	for _, d := range diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// RenderSARIF writes diagnostics as a minimal SARIF 2.1.0 log: one run,
+// one rule per analyzer, error-level results.
+func RenderSARIF(w io.Writer, diags []Diagnostic, root string) error {
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifRule struct {
+		ID               string       `json:"id"`
+		ShortDescription sarifMessage `json:"shortDescription"`
+	}
+	type sarifArtifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn"`
+	}
+	type sarifPhysicalLocation struct {
+		ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+		Region           sarifRegion           `json:"region"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	type sarifDriver struct {
+		Name           string      `json:"name"`
+		InformationURI string      `json:"informationUri"`
+		Rules          []sarifRule `json:"rules"`
+	}
+	type sarifTool struct {
+		Driver sarifDriver `json:"driver"`
+	}
+	type sarifRun struct {
+		Tool    sarifTool     `json:"tool"`
+		Results []sarifResult `json:"results"`
+	}
+
+	var rules []sarifRule
+	for _, a := range Analyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(relPath(root, d.Pos.Filename))},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	out := struct {
+		Schema  string     `json:"$schema"`
+		Version string     `json:"version"`
+		Runs    []sarifRun `json:"runs"`
+	}{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "xoarlint", InformationURI: "https://example.invalid/xoarlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// RenderGitHub writes diagnostics as GitHub Actions workflow commands, one
+// ::error per finding, which the runner turns into inline PR annotations.
+func RenderGitHub(w io.Writer, diags []Diagnostic, root string) {
+	for _, d := range diags {
+		// Workflow-command property values must escape , : % and newlines.
+		msg := githubEscape(d.Message)
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=xoarlint(%s)::%s\n",
+			githubEscape(filepath.ToSlash(relPath(root, d.Pos.Filename))), d.Pos.Line, d.Pos.Column, d.Analyzer, msg)
+	}
+}
+
+func githubEscape(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
+}
+
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

@@ -1,0 +1,105 @@
+package xoarlint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases of the //xoarlint:allow comment placement rules: a trailing
+// comment covers exactly its own line, a standalone comment exactly the
+// next line. A suppression is a security decision, so any ambiguity about
+// what it covers must resolve to "not suppressed".
+
+func TestSuppressionWrongLineDoesNotApply(t *testing.T) {
+	src := `package netdrv
+
+import "time"
+
+func f() {
+	//xoarlint:allow(simtime) wall clock needed for the log banner
+	x := 1
+	_ = x
+	_ = time.Now()
+}
+`
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	wantDiags(t, diagsOf(t, "simtime", p), "time.Now breaks simulation determinism")
+}
+
+// Stacked standalone allows do not accumulate: each covers only the line
+// directly below it, so the upper comment lands on the lower comment and
+// suppresses nothing. Covering two analyzers on one line takes the
+// comma-list form instead.
+func TestSuppressionStackedAllowsOnlyAdjacentApplies(t *testing.T) {
+	src := `package netdrv
+
+import (
+	"math/rand"
+	"time"
+)
+
+func f() {
+	//xoarlint:allow(simtime) stacked: covers only the comment below
+	//xoarlint:allow(simtime) adjacent: covers the Now call
+	_ = time.Now()
+	_ = rand.Intn(10)
+}
+`
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	wantDiags(t, diagsOf(t, "simtime", p), "rand.Intn uses the process-global random source")
+}
+
+func TestSuppressionCommaListCoversMultipleAnalyzers(t *testing.T) {
+	src := `package netdrv
+
+import "time"
+
+func f() {
+	_ = time.Now() //xoarlint:allow(simtime, errwrap) banner timestamp, never compared
+}
+`
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	if diags := diagsOf(t, "simtime", p); len(diags) != 0 {
+		t.Fatalf("comma-list suppression ignored: %v", diags)
+	}
+}
+
+func TestSuppressionTrailingDoesNotLeakToNextLine(t *testing.T) {
+	src := `package netdrv
+
+import "time"
+
+func f() {
+	time.Sleep(time.Second) //xoarlint:allow(simtime) startup grace period outside the sim
+	_ = time.Now()
+}
+`
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	wantDiags(t, diagsOf(t, "simtime", p), "time.Now breaks simulation determinism")
+}
+
+// An unknown name inside a comma list is reported without voiding the
+// valid names next to it.
+func TestSuppressionUnknownAnalyzerInListStillReported(t *testing.T) {
+	src := `package netdrv
+
+import "time"
+
+func f() {
+	_ = time.Now() //xoarlint:allow(simtime, simtiem) typo next to a valid name
+}
+`
+	p := loadSrc(t, "xoar/internal/netdrv", src)
+	var unknown bool
+	for _, d := range RunAll([]*Package{p}) {
+		if d.Analyzer == "xoarlint" && strings.Contains(d.Message, `unknown analyzer "simtiem"`) {
+			unknown = true
+		}
+		if d.Analyzer == "simtime" {
+			t.Errorf("valid name in the list did not suppress: %v", d)
+		}
+	}
+	if !unknown {
+		t.Error("unknown analyzer in comma list not reported")
+	}
+}

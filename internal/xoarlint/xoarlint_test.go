@@ -311,7 +311,10 @@ func TestSuppressionRejectsUnknownAnalyzer(t *testing.T) {
 // --- framework ---------------------------------------------------------------
 
 func TestRegisteredAnalyzers(t *testing.T) {
-	want := map[string]bool{"privcheck": true, "simtime": true, "layering": true, "errwrap": true}
+	want := map[string]bool{
+		"privcheck": true, "simtime": true, "layering": true, "errwrap": true,
+		"gohygiene": true, "privflow": true, "auditlog": true, "metricnames": true,
+	}
 	for _, a := range Analyzers() {
 		delete(want, a.Name)
 		if a.Doc == "" {

@@ -6,6 +6,9 @@ package xoar
 // linter cannot drift out of CI or local workflows.
 
 import (
+	"bytes"
+	"os"
+	"strings"
 	"testing"
 
 	"xoar/internal/xoarlint"
@@ -22,4 +25,41 @@ func TestXoarlintModuleClean(t *testing.T) {
 	for _, d := range xoarlint.RunAll(pkgs) {
 		t.Errorf("%s", d)
 	}
+}
+
+// TestPrivMatrixDrift pins PRIVMATRIX.json — the generated map of which
+// privilege each hypervisor entry point demands and what state it touches
+// — to the source. Any change to hv's privilege surface must regenerate
+// the artifact, which puts the widened/narrowed surface in the diff where
+// reviewers can see it.
+func TestPrivMatrixDrift(t *testing.T) {
+	checked, err := os.ReadFile("PRIVMATRIX.json")
+	if err != nil {
+		t.Fatalf("reading checked-in matrix: %v (regenerate with: make matrix)", err)
+	}
+	pkgs, err := xoarlint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	built, err := xoarlint.BuildPrivMatrix(pkgs)
+	if err != nil {
+		t.Fatalf("building matrix: %v", err)
+	}
+	enc, err := built.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(checked, enc) {
+		return
+	}
+	old, err := xoarlint.DecodePrivMatrix(checked)
+	if err != nil {
+		t.Fatalf("PRIVMATRIX.json does not parse: %v (regenerate with: make matrix)", err)
+	}
+	diff := xoarlint.DiffPrivMatrices(old, built)
+	if len(diff) == 0 {
+		diff = []string{"(formatting only)"}
+	}
+	t.Errorf("PRIVMATRIX.json is stale — hv's privilege surface changed:\n  %s\nregenerate with: make matrix",
+		strings.Join(diff, "\n  "))
 }
