@@ -47,7 +47,7 @@ bench:
 # performance change, refresh the baseline with:
 #   go run ./cmd/benchdiff -baseline BENCH_baseline.json -update bench.out
 bench-diff:
-	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark' -benchtime=1x . | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark|BenchmarkDataPath_TxBatching|BenchmarkDataPath_Saturation10G|BenchmarkMicro_RingBatchPop' -benchtime=1x -benchmem . | tee bench.out
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
 
 # check is the tier-1 gate: build + tests, plus vet, gofmt and xoarlint as

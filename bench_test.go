@@ -19,6 +19,7 @@ import (
 	"xoar/internal/hv"
 	"xoar/internal/hw"
 	"xoar/internal/osimage"
+	"xoar/internal/ring"
 	"xoar/internal/sim"
 	"xoar/internal/snapshot"
 	"xoar/internal/xenstore"
@@ -393,5 +394,68 @@ func BenchmarkFeature_PageSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		st := pl.DedupScan()
 		b.ReportMetric(float64(st.SavedPages), "pages-saved")
+	}
+}
+
+// BenchmarkDataPath_TxBatching measures transmit descriptors serviced per
+// NetBack wakeup at saturation: the req_event/rsp_event suppression protocol
+// versus the notify-per-descriptor ablation. The gated invariant is the
+// batching win itself — at least 4 descriptors per wakeup.
+func BenchmarkDataPath_TxBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TxBatching(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup := findRow(b, t, "descs/wakeup (suppressed)").Measured
+		abl := findRow(b, t, "descs/wakeup (always-notify)").Measured
+		if sup < 4*abl {
+			b.Fatalf("suppression services %.1f descs/wakeup vs %.1f ablated; want >= 4x", sup, abl)
+		}
+		b.ReportMetric(sup, "descs-wakeup")
+		b.ReportMetric(findRow(b, t, "amortization").Measured, "x-amortized")
+	}
+}
+
+// BenchmarkDataPath_Saturation10G reruns the Figure 6.2-style bulk transfer
+// on a 10GbE machine: with batched rings the NetBack shard must saturate the
+// faster wire just like dom0 (overhead within noise).
+func BenchmarkDataPath_Saturation10G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := experiments.Saturation(experiments.Scale(0.1), []hw.NICModel{hw.NICModel10G})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(findRow(b, t, "ixgbe dom0").Measured, "MB/s-dom0")
+		b.ReportMetric(findRow(b, t, "ixgbe xoar").Measured, "MB/s-xoar")
+		b.ReportMetric(findRow(b, t, "ixgbe shard overhead").Measured, "pct-overhead")
+	}
+}
+
+// BenchmarkMicro_RingBatchPop measures the batched ring transfer fast path:
+// a full-ring push and drain per iteration. The hot pump path must stay
+// allocation-free — allocs/op is gated at zero.
+func BenchmarkMicro_RingBatchPop(b *testing.B) {
+	env := sim.NewEnv(1)
+	r := ring.New[int, int](env, ring.DefaultSlots)
+	reqs := make([]int, ring.DefaultSlots)
+	acks := make([]int, ring.DefaultSlots)
+	buf := make([]int, ring.DefaultSlots)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.TryPushRequestBatch(reqs) != len(reqs) {
+			b.Fatal("push stalled")
+		}
+		n := r.TryPopRequestBatch(buf)
+		if n != len(reqs) {
+			b.Fatalf("popped %d", n)
+		}
+		if err := r.PushResponseBatch(acks[:n]); err != nil {
+			b.Fatal(err)
+		}
+		if got := r.TryPopResponseBatch(buf); got != n {
+			b.Fatalf("acked %d", got)
+		}
 	}
 }

@@ -38,6 +38,11 @@ type MetricGate struct {
 	Worse string `json:"worse"`
 	// Tolerance overrides the file-level tolerance when > 0.
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// AbsTolerance widens the band by an absolute amount in the metric's own
+	// unit. It is the only way to gate a zero baseline (allocs/op = 0), where
+	// a relative band is degenerate: any measured value would fail — or with
+	// worse="higher", any value would pass a baseline of exactly 0 only.
+	AbsTolerance float64 `json:"abs_tolerance,omitempty"`
 	// Note is a human-readable reminder of what the metric means.
 	Note string `json:"note,omitempty"`
 }
@@ -100,19 +105,19 @@ func check(g MetricGate, got, defaultTol float64) string {
 	if tol <= 0 {
 		tol = defaultTol
 	}
-	band := tol * math.Abs(g.Value)
+	band := tol*math.Abs(g.Value) + g.AbsTolerance
 	switch g.Worse {
 	case "higher":
 		if got > g.Value+band {
-			return fmt.Sprintf("%.6g exceeds baseline %.6g by more than %.4g%%", got, g.Value, tol*100)
+			return fmt.Sprintf("%.6g exceeds baseline %.6g by more than the %.6g band", got, g.Value, band)
 		}
 	case "lower":
 		if got < g.Value-band {
-			return fmt.Sprintf("%.6g falls below baseline %.6g by more than %.4g%%", got, g.Value, tol*100)
+			return fmt.Sprintf("%.6g falls below baseline %.6g by more than the %.6g band", got, g.Value, band)
 		}
 	case "either":
 		if math.Abs(got-g.Value) > band {
-			return fmt.Sprintf("%.6g deviates from pinned baseline %.6g by more than %.4g%%", got, g.Value, tol*100)
+			return fmt.Sprintf("%.6g deviates from pinned baseline %.6g by more than the %.6g band", got, g.Value, band)
 		}
 	default:
 		return fmt.Sprintf("bad gate direction %q (want higher/lower/either)", g.Worse)

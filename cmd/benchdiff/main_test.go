@@ -66,6 +66,13 @@ func TestCheckDirections(t *testing.T) {
 		{"either-ok", MetricGate{Value: 896, Worse: "either"}, 900, false},
 		{"either-drifted", MetricGate{Value: 896, Worse: "either"}, 1000, true},
 		{"per-gate-tolerance", MetricGate{Value: 100, Worse: "higher", Tolerance: 0.5}, 140, false},
+		// A zero baseline has a zero relative band: only an absolute
+		// tolerance makes it gateable (allocs/op = 0).
+		{"zero-baseline-exact", MetricGate{Value: 0, Worse: "higher"}, 0, false},
+		{"zero-baseline-regressed", MetricGate{Value: 0, Worse: "higher"}, 1, true},
+		{"abs-tolerance-ok", MetricGate{Value: 0, Worse: "higher", AbsTolerance: 0.5}, 0.4, false},
+		{"abs-tolerance-regressed", MetricGate{Value: 0, Worse: "higher", AbsTolerance: 0.5}, 1, true},
+		{"abs-widens-relative", MetricGate{Value: 100, Worse: "either", AbsTolerance: 10}, 114, false},
 		{"bad-direction", MetricGate{Value: 1, Worse: "sideways"}, 1, true},
 	}
 	for _, c := range cases {

@@ -206,3 +206,74 @@ func TestRemoveVbdReleasesImage(t *testing.T) {
 	}
 	hn.env.Shutdown()
 }
+
+// A 4-ring vbd stripes segments across its rings and completes a large
+// transfer; the worker batches keep descriptors-per-wakeup well above one.
+func TestMultiQueueVbdStriping(t *testing.T) {
+	hn := newHarness(t)
+	ok := false
+	hn.env.Spawn("boot", func(p *sim.Proc) {
+		hn.back.Start(p)
+		if err := hn.back.CreateImage("guest-disk", 15*1024); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := hn.back.CreateVbdQueues(hn.guest.ID, "guest-disk", 4); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := hn.front.Connect(p, hn.back); err != nil {
+			t.Error(err)
+			return
+		}
+		if hn.front.Queues() != 4 {
+			t.Errorf("queues = %d", hn.front.Queues())
+		}
+		const bytes = 16 * 1024 * 1024
+		if err := hn.front.Read(p, bytes, true); err != nil {
+			t.Error(err)
+			return
+		}
+		ok = true
+	})
+	hn.env.RunFor(120 * sim.Second)
+	if !ok {
+		t.Fatal("striped read did not complete")
+	}
+	want := int64(16 * 1024 * 1024 / SegmentBytes)
+	if hn.back.CompletedReqs != want {
+		t.Fatalf("completed %d/%d", hn.back.CompletedReqs, want)
+	}
+	// Every ring must have carried descriptors.
+	for qi, q := range hn.back.vbds[hn.guest.ID].queues {
+		if q.ring.Stats().ReqPushed == 0 {
+			t.Fatalf("queue %d idle", qi)
+		}
+	}
+}
+
+// Deep pipelined IO amortizes notifies: the frontend keeps the ring full
+// while the worker is disk-bound, so request pushes are suppressed.
+func TestBlkBatchingAmortizesNotifies(t *testing.T) {
+	hn := newHarness(t)
+	hn.boot(t)
+	done := false
+	hn.env.Spawn("io", func(p *sim.Proc) {
+		if err := hn.front.Read(p, 32*1024*1024, true); err != nil {
+			t.Error(err)
+			return
+		}
+		done = true
+	})
+	hn.env.RunFor(600 * sim.Second)
+	if !done {
+		t.Fatal("read did not complete")
+	}
+	st := hn.back.DataPathStats()
+	if st.ReqDescs == 0 || st.ReqNotifies == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if ratio := float64(st.ReqDescs) / float64(st.ReqNotifies); ratio < 4 {
+		t.Fatalf("%.1f request descs per notify, want >= 4", ratio)
+	}
+}

@@ -161,6 +161,10 @@ type GuestSpec struct {
 	Net          bool
 	Disk         bool
 	DiskMB       int
+	// NetQueues/DiskQueues give the guest's devices N rings each (0 or 1 is
+	// the single-ring layout); vifs hash flows across rings, vbds stripe.
+	NetQueues  int
+	DiskQueues int
 	// ConstraintTag restricts which guests may share this guest's shards
 	// (§3.2.1).
 	ConstraintTag string
@@ -191,6 +195,7 @@ func (pl *Platform) CreateGuest(spec GuestSpec) (*Guest, error) {
 			Name: spec.Name, Image: spec.Image, CustomKernel: spec.CustomKernel,
 			MemMB: spec.MemMB, VCPUs: spec.VCPUs, DiskMB: spec.DiskMB,
 			Net: spec.Net, Disk: spec.Disk, ConstraintTag: spec.ConstraintTag,
+			NetQueues: spec.NetQueues, DiskQueues: spec.DiskQueues,
 			HVM: spec.HVM,
 		})
 		done = true

@@ -368,3 +368,36 @@ func TestMinimalConfiguration512MB(t *testing.T) {
 		t.Fatalf("console on minimal config: %v", err)
 	}
 }
+
+func TestGuestSpecMultiQueue(t *testing.T) {
+	pl, err := New(XoarShards, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	g, err := pl.CreateGuest(GuestSpec{Name: "mq", VCPUs: 2, Net: true, Disk: true, NetQueues: 4, DiskQueues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := g.VM.Net.Queues(); n != 4 {
+		t.Fatalf("net queues = %d", n)
+	}
+	if n := g.VM.Blk.Queues(); n != 2 {
+		t.Fatalf("disk queues = %d", n)
+	}
+	var res workloadProbe
+	done := false
+	pl.Env.Spawn("probe", func(p *sim.Proc) {
+		res.fetch = g.VM.Fetch(p, 8<<20, guest.SinkDisk)
+		done = true
+	})
+	pl.Env.RunFor(120 * sim.Second)
+	if !done {
+		t.Fatal("fetch did not complete")
+	}
+	if res.fetch.Bytes != 8<<20 {
+		t.Fatalf("fetched %d", res.fetch.Bytes)
+	}
+}
+
+type workloadProbe struct{ fetch guest.FetchResult }

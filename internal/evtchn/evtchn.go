@@ -165,9 +165,17 @@ func (t *Table) BindVIRQ(dom xtypes.DomID, virq xtypes.VIRQ) (xtypes.Port, error
 	return port, nil
 }
 
-// deliver marks a channel pending and fires its upcall.
+// deliver records one event arrival and dispatches it. The count happens
+// here exactly once per arrival — a masked event that is later unmasked is
+// still one event, so the redelivery path goes through dispatch directly.
 func (t *Table) deliver(ch *channel) {
 	ch.notifyCount++
+	t.dispatch(ch)
+}
+
+// dispatch marks a channel pending and fires its upcall (or defers under
+// mask). It does not count: Unmask reuses it to redeliver a deferred event.
+func (t *Table) dispatch(ch *channel) {
 	if ch.masked {
 		ch.pending = true
 		return
@@ -249,7 +257,7 @@ func (t *Table) Unmask(dom xtypes.DomID, port xtypes.Port) error {
 	ch.masked = false
 	if ch.pending {
 		ch.pending = false
-		t.deliver(ch)
+		t.dispatch(ch)
 	}
 	return nil
 }
@@ -319,6 +327,11 @@ func (t *Table) close(dom xtypes.DomID, port xtypes.Port) {
 		if rch, err := t.lookup(ch.remoteDom, ch.remotePort); err == nil {
 			rch.state = stateUnbound
 			rch.remoteDom = dom
+			// Scrub connection state: a stale remotePort or pending bit
+			// from the dead connection would surface as a phantom event
+			// after the driver rebinds post-microreboot.
+			rch.remotePort = xtypes.PortInvalid
+			rch.pending = false
 			rch.sig.Broadcast() // wake waiters so they observe the break
 		}
 	}

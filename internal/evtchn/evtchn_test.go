@@ -325,3 +325,152 @@ func TestEvtchnLifecycleProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Satellite regression: close must scrub the surviving endpoint's pending
+// bit and stale remote port. Pre-fix, an event notified just before the
+// peer closed survived the teardown and surfaced as a phantom event on the
+// rebound connection after a microreboot.
+func TestCloseClearsStalePeerState(t *testing.T) {
+	env, tbl := newTable()
+	p1, p2 := pair(t, tbl)
+	env.Spawn("test", func(p *sim.Proc) {
+		tbl.Notify(1, p1) // event in flight, never consumed
+		tbl.Close(1, p1)  // backend dies mid-event (microreboot)
+		if ok, _ := tbl.Pending(2, p2); ok {
+			t.Error("pending bit survived close: phantom event")
+			return
+		}
+		// Reconnect: dom1 rebinds to the surviving unbound endpoint.
+		np1, err := tbl.BindInterdomain(1, 2, p2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// The fresh connection must not observe an event it never sent.
+		if tbl.WaitTimeout(p, 2, p2, 5*sim.Millisecond) {
+			t.Error("phantom event delivered on rebound channel")
+			return
+		}
+		// And real traffic on the new binding still flows.
+		if err := tbl.Notify(1, np1); err != nil {
+			t.Error(err)
+			return
+		}
+		if ok, _ := tbl.Pending(2, p2); !ok {
+			t.Error("real notify lost after rebind")
+		}
+	})
+	env.RunAll()
+}
+
+// Satellite regression: one event arrival is one count, masked or not.
+// Pre-fix, deliver counted when it set the pending bit under mask and then
+// Unmask ran deliver again for the same event, double-counting it.
+func TestNotifyCountMaskedCountsOnce(t *testing.T) {
+	env, tbl := newTable()
+	p1, p2 := pair(t, tbl)
+	env.Spawn("test", func(p *sim.Proc) {
+		tbl.Mask(2, p2)
+		tbl.Notify(1, p1) // arrives under mask: counts once
+		if n := tbl.NotifyCount(2, p2); n != 1 {
+			t.Errorf("count under mask = %d", n)
+		}
+		tbl.Unmask(2, p2) // redelivery of the deferred event, not a new one
+		if n := tbl.NotifyCount(2, p2); n != 1 {
+			t.Errorf("count after unmask = %d", n)
+		}
+		if !tbl.Wait(p, 2, p2) {
+			t.Error("deferred event lost")
+		}
+		// Interleave unmasked and masked notifies: three arrivals total.
+		tbl.Notify(1, p1)
+		tbl.Mask(2, p2)
+		tbl.Notify(1, p1)
+		tbl.Unmask(2, p2)
+		if n := tbl.NotifyCount(2, p2); n != 3 {
+			t.Errorf("count after mask/notify/unmask sequence = %d", n)
+		}
+		if !tbl.Wait(p, 2, p2) {
+			t.Error("event lost after sequence")
+		}
+	})
+	env.RunAll()
+}
+
+// WaitTimeout with a deadline exactly at Now must not block: it consumes an
+// already-pending event or fails immediately.
+func TestWaitTimeoutZeroDeadline(t *testing.T) {
+	env, tbl := newTable()
+	p1, p2 := pair(t, tbl)
+	env.Spawn("test", func(p *sim.Proc) {
+		if tbl.WaitTimeout(p, 2, p2, 0) {
+			t.Error("zero-deadline wait returned true with no event")
+		}
+		if p.Now() != 0 {
+			t.Errorf("zero-deadline wait blocked until %v", p.Now())
+		}
+		tbl.Notify(1, p1)
+		if !tbl.WaitTimeout(p, 2, p2, 0) {
+			t.Error("pending event not consumed at zero deadline")
+		}
+	})
+	env.RunAll()
+}
+
+// Closing the port while a WaitTimeout deadline timer is armed must wake the
+// waiter with false at close time, not strand it until the deadline.
+func TestWaitTimeoutPortClosedWhileArmed(t *testing.T) {
+	env, tbl := newTable()
+	_, p2 := pair(t, tbl)
+	var ok, done bool
+	var at sim.Time
+	env.Spawn("waiter", func(p *sim.Proc) {
+		ok = tbl.WaitTimeout(p, 2, p2, 100*sim.Millisecond)
+		at = p.Now()
+		done = true
+	})
+	env.Spawn("closer", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+		tbl.Close(2, p2)
+	})
+	env.RunAll()
+	if !done || ok {
+		t.Fatalf("wait after close: done=%v ok=%v", done, ok)
+	}
+	if at != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("waiter returned at %v, want the close time", at)
+	}
+}
+
+// Two waiters on one port: a single event wakes both (broadcast), exactly
+// one consumes it, and the spuriously-woken loser re-sleeps and times out
+// at its own deadline rather than returning a false success.
+func TestWaitTimeoutSpuriousWakeupSecondWaiter(t *testing.T) {
+	env, tbl := newTable()
+	p1, p2 := pair(t, tbl)
+	results := make([]bool, 2)
+	times := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn("waiter", func(p *sim.Proc) {
+			results[i] = tbl.WaitTimeout(p, 2, p2, 20*sim.Millisecond)
+			times[i] = p.Now()
+		})
+	}
+	env.Spawn("notifier", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+		tbl.Notify(1, p1)
+	})
+	env.RunAll()
+	if results[0] == results[1] {
+		t.Fatalf("exactly one waiter must consume the event: %v", results)
+	}
+	for i := 0; i < 2; i++ {
+		if results[i] && times[i] != sim.Time(5*sim.Millisecond) {
+			t.Fatalf("winner returned at %v", times[i])
+		}
+		if !results[i] && times[i] != sim.Time(20*sim.Millisecond) {
+			t.Fatalf("loser returned at %v, want its deadline", times[i])
+		}
+	}
+}

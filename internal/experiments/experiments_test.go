@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"xoar/internal/hw"
 )
 
 func findRow(t *testing.T, tbl Table, label string) Row {
@@ -367,5 +369,36 @@ func TestTraceJSONContainsBatchSpans(t *testing.T) {
 	}
 	if !strings.Contains(s, "construct:trace-0") || !strings.Contains(s, "boot:trace-0") {
 		t.Fatal("trace export missing per-domain pipeline children")
+	}
+}
+
+func TestSaturationShardWithinNoise(t *testing.T) {
+	tbl, pts, err := Saturation(0.05, []hw.NICModel{hw.NICModel10G})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	over := findRow(t, tbl, "ixgbe shard overhead")
+	if over.Measured > 1.0 {
+		t.Fatalf("10G shard overhead %.2f%%, want within noise (<=1%%)", over.Measured)
+	}
+	xoar := findRow(t, tbl, "ixgbe xoar")
+	// 10GbE payload line rate is ~1170 MB/s; the shard must saturate it.
+	if xoar.Measured < 1100 {
+		t.Fatalf("xoar throughput %.1f MB/s, want near line rate", xoar.Measured)
+	}
+}
+
+func TestTxBatchingAmortizes(t *testing.T) {
+	tbl, err := TxBatching(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := findRow(t, tbl, "descs/wakeup (suppressed)")
+	abl := findRow(t, tbl, "descs/wakeup (always-notify)")
+	if sup.Measured < 4*abl.Measured {
+		t.Fatalf("suppressed %.1f vs ablated %.1f descs/wakeup, want >= 4x", sup.Measured, abl.Measured)
 	}
 }

@@ -33,18 +33,52 @@ type Disk struct {
 	Ops        int64
 }
 
+// DiskModel is a parameter preset for a storage-device generation. The zero
+// value means "use the default model" (the paper testbed's 7200RPM SATA disk).
+type DiskModel struct {
+	// Driver is the device-name prefix ("sata" → "sata-0").
+	Driver string
+	// Bandwidth is sustained sequential throughput in bytes/second.
+	Bandwidth float64
+	// SeekTime is the penalty for a non-sequential operation.
+	SeekTime sim.Duration
+	// PerOp is controller/command overhead applied to every operation.
+	PerOp sim.Duration
+	// InitTime and FastReinitTime are the bring-up costs.
+	InitTime       sim.Duration
+	FastReinitTime sim.Duration
+}
+
+var (
+	// DiskModelSATA7200 is the paper testbed's 7200RPM SATA disk.
+	DiskModelSATA7200 = DiskModel{Driver: "sata", Bandwidth: 110e6, SeekTime: 8 * sim.Millisecond,
+		PerOp: 60 * sim.Microsecond, InitTime: 2500 * sim.Millisecond, FastReinitTime: 25 * sim.Millisecond}
+	// DiskModelNVMe is a datacenter NVMe SSD: no rotational seek, a small
+	// flash-translation penalty for random access, microsecond command cost.
+	DiskModelNVMe = DiskModel{Driver: "nvme", Bandwidth: 3.2e9, SeekTime: 20 * sim.Microsecond,
+		PerOp: 10 * sim.Microsecond, InitTime: 400 * sim.Millisecond, FastReinitTime: 10 * sim.Millisecond}
+)
+
 // NewDisk returns a 7200RPM disk model at addr.
 func NewDisk(env *sim.Env, name string, addr xtypes.PCIAddr) *Disk {
+	return NewDiskModel(env, name, addr, DiskModelSATA7200)
+}
+
+// NewDiskModel returns a disk at addr built from a model preset.
+func NewDiskModel(env *sim.Env, name string, addr xtypes.PCIAddr, m DiskModel) *Disk {
+	if m == (DiskModel{}) {
+		m = DiskModelSATA7200
+	}
 	return &Disk{
 		env:            env,
 		name:           name,
 		addr:           addr,
-		Bandwidth:      110e6,
-		SeekTime:       8 * sim.Millisecond,
-		PerOp:          60 * sim.Microsecond,
+		Bandwidth:      m.Bandwidth,
+		SeekTime:       m.SeekTime,
+		PerOp:          m.PerOp,
 		arm:            sim.NewResource(env, 1),
-		initTime:       2500 * sim.Millisecond, // controller probe + spin-up check
-		fastReinitTime: 25 * sim.Millisecond,
+		initTime:       m.InitTime,
+		fastReinitTime: m.FastReinitTime,
 	}
 }
 

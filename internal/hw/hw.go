@@ -38,12 +38,17 @@ type Machine struct {
 	RAMMB  int
 }
 
-// MachineConfig describes the physical host to model.
+// MachineConfig describes the physical host to model. NICModel/DiskModel
+// select hardware generations; their zero values mean the paper testbed's
+// Gigabit NIC and 7200RPM SATA disk.
 type MachineConfig struct {
 	CPUs  int
 	RAMMB int
 	NICs  int
 	Disks int
+
+	NICModel  NICModel
+	DiskModel DiskModel
 }
 
 // DefaultMachineConfig is the paper's testbed: quad-core, 4GB, one NIC, one
@@ -73,11 +78,19 @@ func NewMachineWith(env *sim.Env, cfg MachineConfig) *Machine {
 	}
 	m.Bus = NewPCIBus(env)
 	m.Serial = NewSerial(env)
+	nm := cfg.NICModel
+	if nm == (NICModel{}) {
+		nm = NICModel1G
+	}
+	dm := cfg.DiskModel
+	if dm == (DiskModel{}) {
+		dm = DiskModelSATA7200
+	}
 	for i := 0; i < cfg.NICs; i++ {
-		m.Bus.AddDevice(NewNIC(env, fmt.Sprintf("tg3-%d", i), xtypes.PCIAddr{Bus: 2, Slot: uint8(i)}))
+		m.Bus.AddDevice(NewNICModel(env, fmt.Sprintf("%s-%d", nm.Driver, i), xtypes.PCIAddr{Bus: 2, Slot: uint8(i)}, nm))
 	}
 	for i := 0; i < cfg.Disks; i++ {
-		m.Bus.AddDevice(NewDisk(env, fmt.Sprintf("sata-%d", i), xtypes.PCIAddr{Bus: 0, Slot: uint8(28 + i)}))
+		m.Bus.AddDevice(NewDiskModel(env, fmt.Sprintf("%s-%d", dm.Driver, i), xtypes.PCIAddr{Bus: 0, Slot: uint8(28 + i)}, dm))
 	}
 	return m
 }

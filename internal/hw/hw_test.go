@@ -223,3 +223,28 @@ func TestSerialLog(t *testing.T) {
 		t.Fatalf("log = %v", got)
 	}
 }
+
+func TestMachineConfigModels(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMachineWith(env, MachineConfig{
+		CPUs: 4, RAMMB: 4096, NICs: 1, Disks: 1,
+		NICModel: NICModel10G, DiskModel: DiskModelNVMe,
+	})
+	nic := m.NICs()[0]
+	if nic.Name() != "ixgbe-0" || nic.LineRate != 1.17e9 {
+		t.Fatalf("nic = %s rate %.0f", nic.Name(), nic.LineRate)
+	}
+	disk := m.Disks()[0]
+	if disk.Name() != "nvme-0" || disk.Bandwidth != 3.2e9 {
+		t.Fatalf("disk = %s bw %.0f", disk.Name(), disk.Bandwidth)
+	}
+	// The zero-valued config still builds the paper testbed.
+	def := NewMachineWith(sim.NewEnv(1), DefaultMachineConfig())
+	if def.NICs()[0].Name() != "tg3-0" || def.Disks()[0].Name() != "sata-0" {
+		t.Fatalf("default models changed: %s %s", def.NICs()[0].Name(), def.Disks()[0].Name())
+	}
+	// A faster generation really is faster end to end.
+	if nvme, sata := disk, def.Disks()[0]; nvme.xferTime(1<<20) >= sata.xferTime(1<<20) {
+		t.Fatal("nvme not faster than sata")
+	}
+}

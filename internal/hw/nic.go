@@ -33,18 +33,58 @@ type NIC struct {
 	RxBytes int64
 }
 
+// NICModel is a parameter preset for a NIC generation. The zero value means
+// "use the default model" (the paper testbed's Gigabit Tigon 3).
+type NICModel struct {
+	// Driver is the device-name prefix ("tg3" → "tg3-0").
+	Driver string
+	// LineRate is effective payload bandwidth in bytes/second.
+	LineRate float64
+	// LANLatency is one-way propagation to the directly attached peer.
+	LANLatency sim.Duration
+	// InitTime and FastReinitTime are the bring-up costs.
+	InitTime       sim.Duration
+	FastReinitTime sim.Duration
+}
+
+// NIC generations. Line rates are payload throughput after framing overhead
+// (~93.5% of nominal). Faster NICs sit on lower-latency fabrics and skip the
+// multi-second PHY autonegotiation of the Gigabit part.
+var (
+	// NICModel1G is the paper testbed's Tigon 3 Gigabit NIC.
+	NICModel1G = NICModel{Driver: "tg3", LineRate: 117e6, LANLatency: 50 * sim.Microsecond,
+		InitTime: 3500 * sim.Millisecond, FastReinitTime: 30 * sim.Millisecond}
+	// NICModel10G is an Intel 82599-class 10GbE NIC.
+	NICModel10G = NICModel{Driver: "ixgbe", LineRate: 1.17e9, LANLatency: 20 * sim.Microsecond,
+		InitTime: 2000 * sim.Millisecond, FastReinitTime: 30 * sim.Millisecond}
+	// NICModel25G is a ConnectX-4-class 25GbE NIC.
+	NICModel25G = NICModel{Driver: "mlx5", LineRate: 2.9e9, LANLatency: 10 * sim.Microsecond,
+		InitTime: 1500 * sim.Millisecond, FastReinitTime: 25 * sim.Millisecond}
+	// NICModel100G is a ConnectX-5-class 100GbE NIC.
+	NICModel100G = NICModel{Driver: "mlx5-100g", LineRate: 11.7e9, LANLatency: 5 * sim.Microsecond,
+		InitTime: 1500 * sim.Millisecond, FastReinitTime: 25 * sim.Millisecond}
+)
+
 // NewNIC returns a Gigabit NIC at addr.
 func NewNIC(env *sim.Env, name string, addr xtypes.PCIAddr) *NIC {
+	return NewNICModel(env, name, addr, NICModel1G)
+}
+
+// NewNICModel returns a NIC at addr built from a model preset.
+func NewNICModel(env *sim.Env, name string, addr xtypes.PCIAddr, m NICModel) *NIC {
+	if m == (NICModel{}) {
+		m = NICModel1G
+	}
 	return &NIC{
 		env:            env,
 		name:           name,
 		addr:           addr,
-		LineRate:       117e6,
-		LANLatency:     50 * sim.Microsecond,
+		LineRate:       m.LineRate,
+		LANLatency:     m.LANLatency,
 		tx:             sim.NewResource(env, 1),
 		rx:             sim.NewResource(env, 1),
-		initTime:       3500 * sim.Millisecond, // PHY autoneg ~3s + probe
-		fastReinitTime: 30 * sim.Millisecond,
+		initTime:       m.InitTime,
+		fastReinitTime: m.FastReinitTime,
 	}
 }
 

@@ -10,6 +10,12 @@
 // toolstack and XenStore are out of the data path, which is why
 // disaggregation costs so little throughput (§6.1.4).
 //
+// The data path amortizes the way real netback does: pumps drain whole
+// bursts of descriptors per wakeup (one fixed batch charge plus a
+// per-descriptor increment), rings suppress notifies the peer did not ask
+// for (req_event/rsp_event), and a vif may carry N queues with flows hashed
+// across them so a backend scales past a single ring's slot count.
+//
 // NetBack is restartable (Figure 5.1): on a microreboot it breaks every vif,
 // rolls back, re-attaches to the NIC, and either renegotiates with frontends
 // via XenStore ("slow", ~260ms downtime) or restores the negotiated
@@ -32,7 +38,8 @@ import (
 
 // Packet is a batch of payload bytes moving through the virtual network.
 // Real rings carry page-sized segments; batching keeps event counts sane
-// without changing the queueing structure.
+// without changing the queueing structure. Seq doubles as the flow key for
+// multi-queue vifs: packets with equal Seq always land on the same queue.
 type Packet struct {
 	Bytes int
 	Seq   int64
@@ -45,8 +52,12 @@ type ack struct{}
 const (
 	// ChunkBytes is the modelling batch size (matches a 16-segment TSO batch).
 	ChunkBytes = 64 * 1024
-	// perChunkCPU is backend CPU per chunk: copy, bridge hop, grant ops.
-	perChunkCPU = 18 * sim.Microsecond
+	// perBatchCPU is the fixed cost of one pump wakeup: the event upcall and
+	// scheduling. perDescCPU is the per-descriptor cost: copy, bridge hop,
+	// grant ops. At batch size 1 they sum to the historical 18µs per-chunk
+	// charge, so single-descriptor traffic (RPCs, pings) is priced as before.
+	perBatchCPU = 6 * sim.Microsecond
+	perDescCPU  = 12 * sim.Microsecond
 	// frontChunkCPU is frontend CPU per chunk.
 	frontChunkCPU = 12 * sim.Microsecond
 
@@ -61,16 +72,18 @@ const (
 	recoveryBoxRestoreTime = 80 * sim.Millisecond
 )
 
-// vif is one guest's virtual interface, shared between back and front.
-type vif struct {
-	guest xtypes.DomID
+// vifQueue is one ring pair of a vif. Single-queue vifs (the default) have
+// exactly one; multi-queue vifs spread flows across several, each with its
+// own event channel and pump pair, as Linux xen-netback's queues do.
+type vifQueue struct {
+	id int
 
 	// rx carries wire→guest packets: the backend produces, the guest consumes.
 	rx *ring.Ring[Packet, ack]
 	// tx carries guest→wire packets.
 	tx *ring.Ring[Packet, ack]
 
-	// inbox queues packets demuxed off the wire for this vif.
+	// inbox queues packets demuxed off the wire for this queue.
 	inbox *sim.Chan[Packet]
 
 	// Grant references and event-channel ports from the handshake; retained
@@ -79,7 +92,29 @@ type vif struct {
 	backPort     xtypes.Port
 
 	rxPump, txPump *sim.Proc
-	connected      bool
+}
+
+// vif is one guest's virtual interface, shared between back and front.
+type vif struct {
+	guest  xtypes.DomID
+	queues []*vifQueue
+
+	// rxSig wakes the frontend's multi-queue receive path whenever any
+	// queue's rx ring gains a packet or breaks. (A single-queue frontend
+	// blocks directly on its ring instead, which also arms rsp/req events.)
+	rxSig *sim.Signal
+
+	connected bool
+}
+
+// queueFor hashes a flow id onto one of the vif's queues. Fibonacci
+// multiplicative hashing keeps adjacent flow ids well spread.
+func (v *vif) queueFor(seq int64) *vifQueue {
+	if len(v.queues) == 1 {
+		return v.queues[0]
+	}
+	mix := uint64(seq) * 0x9E3779B97F4A7C15
+	return v.queues[mix%uint64(len(v.queues))]
 }
 
 // Backend is NetBack: one per physical NIC (§5.4).
@@ -104,16 +139,67 @@ type Backend struct {
 	RestartCount   int
 
 	// Pre-resolved telemetry handles; nil when telemetry is disabled.
-	rttRx, rttTx *telemetry.Histogram
+	rttRx, rttTx              *telemetry.Histogram
+	batchRx, batchTx          *telemetry.Histogram
+	notifySentRx, notifySupRx *telemetry.Counter
+	notifySentTx, notifySupTx *telemetry.Counter
+}
+
+// DataPathStats aggregates ring descriptor and notify-decision counters
+// across every vif queue of the backend. The tx direction counts the
+// frontends' request pushes (guest→wire), rx the backend's (wire→guest);
+// Descs/Notifies is the descriptors-per-wakeup ratio of Figure 6.1's
+// amortization argument.
+type DataPathStats struct {
+	TxDescs, TxNotifies, TxSuppressed int64
+	RxDescs, RxNotifies, RxSuppressed int64
+}
+
+// DataPathStats snapshots the aggregate ring counters.
+func (b *Backend) DataPathStats() DataPathStats {
+	var s DataPathStats
+	for _, v := range b.vifs {
+		for _, q := range v.queues {
+			tst := q.tx.Stats()
+			s.TxDescs += tst.ReqPushed
+			s.TxNotifies += tst.NotifiesToBack
+			s.TxSuppressed += tst.SuppressedToBack
+			rst := q.rx.Stats()
+			s.RxDescs += rst.ReqPushed
+			s.RxNotifies += rst.NotifiesToBack
+			s.RxSuppressed += rst.SuppressedToBack
+		}
+	}
+	return s
+}
+
+// SetAlwaysNotify switches every vif ring between suppressed (default) and
+// notify-per-push operation. The ablation arm of the batching benchmarks
+// uses it to measure the per-descriptor baseline.
+func (b *Backend) SetAlwaysNotify(on bool) {
+	for _, v := range b.vifs {
+		for _, q := range v.queues {
+			q.rx.AlwaysNotify = on
+			q.tx.AlwaysNotify = on
+		}
+	}
 }
 
 // SetMetrics attaches a telemetry registry (nil = disabled). The ring
-// round-trip histograms measure, per chunk, the time from entering the
+// round-trip histograms measure, per batch, the time from entering the
 // backend (wire inbox / tx ring pop) to completion (pushed to the guest
-// ring / handed to the NIC and acked).
+// ring / handed to the NIC and acked). Batch-size histograms count
+// descriptors serviced per pump wakeup; the notify counters split the
+// event-channel signals the rings sent versus suppressed (DESIGN.md §8).
 func (b *Backend) SetMetrics(reg *telemetry.Registry) {
 	b.rttRx = reg.Histogram("netback_ring_rtt_us", telemetry.LatencyUSBuckets, telemetry.L("dir", "rx"))
 	b.rttTx = reg.Histogram("netback_ring_rtt_us", telemetry.LatencyUSBuckets, telemetry.L("dir", "tx"))
+	b.batchRx = reg.Histogram("netback_batch_size", telemetry.DepthBuckets, telemetry.L("dir", "rx"))
+	b.batchTx = reg.Histogram("netback_batch_size", telemetry.DepthBuckets, telemetry.L("dir", "tx"))
+	b.notifySentRx = reg.Counter("netback_notify_sent_total", telemetry.L("dir", "rx"))
+	b.notifySupRx = reg.Counter("netback_notify_suppressed_total", telemetry.L("dir", "rx"))
+	b.notifySentTx = reg.Counter("netback_notify_sent_total", telemetry.L("dir", "tx"))
+	b.notifySupTx = reg.Counter("netback_notify_suppressed_total", telemetry.L("dir", "tx"))
 }
 
 // NewBackend constructs NetBack in domain dom, driving nic.
@@ -158,46 +244,58 @@ func frontPath(guest xtypes.DomID) string {
 	return fmt.Sprintf("/local/domain/%d/device/vif/0", guest)
 }
 
+// queueRefPath is the advertisement key for queue qi. Queue 0 keeps the
+// legacy single-queue key so pre-multi-queue backends and watches still
+// match; extra queues get suffixed keys, like xen-netback's queue-N dirs.
+func queueRefPath(guest xtypes.DomID, qi int) string {
+	if qi == 0 {
+		return frontPath(guest) + "/ring-ref"
+	}
+	return fmt.Sprintf("%s/ring-ref-%d", frontPath(guest), qi)
+}
+
 // Serving reports whether the backend is accepting traffic.
 func (b *Backend) Serving() bool { return !b.serving.Closed() }
 
 // AcceptConnection completes the backend half of the split-driver handshake
-// for guest: map the granted ring pages, bind the event channel, mark the
-// vif connected, and start the pumps. Called from the backend's event loop
-// when the frontend's XenStore entries appear.
+// for guest: map the granted ring pages of every queue, bind the event
+// channels, mark the vif connected, and start the pumps. Called from the
+// backend's event loop when the frontend's XenStore entries appear.
 func (b *Backend) AcceptConnection(p *sim.Proc, guest xtypes.DomID) error {
 	v, ok := b.vifs[guest]
 	if !ok {
 		return fmt.Errorf("netback: no vif for %v: %w", guest, xtypes.ErrNotFound)
 	}
-	// Read the frontend's advertised ring grants and event channel.
-	refStr, err := b.XS.Read(xenstore.TxNone, frontPath(guest)+"/ring-ref")
-	if err != nil {
-		return err
+	for _, q := range v.queues {
+		// Read the frontend's advertised ring grants and event channel.
+		refStr, err := b.XS.Read(xenstore.TxNone, queueRefPath(guest, q.id))
+		if err != nil {
+			return err
+		}
+		var rxRef, txRef xtypes.GrantRef
+		var port xtypes.Port
+		if _, err := fmt.Sscanf(refStr, "%d/%d/%d", &rxRef, &txRef, &port); err != nil {
+			return fmt.Errorf("netback: bad ring-ref %q: %w", refStr, xtypes.ErrInvalid)
+		}
+		// Map the ring pages through the grant mechanism: this is where the
+		// IVC policy bites if the guest was never linked to this shard.
+		rxMap, err := b.H.MapGrant(b.Dom, guest, rxRef, true)
+		if err != nil {
+			return err
+		}
+		txMap, err := b.H.MapGrant(b.Dom, guest, txRef, true)
+		if err != nil {
+			rxMap.Unmap()
+			return err
+		}
+		backPort, err := b.H.EvtchnBind(b.Dom, guest, port)
+		if err != nil {
+			rxMap.Unmap()
+			txMap.Unmap()
+			return err
+		}
+		q.rxRef, q.txRef, q.backPort = rxRef, txRef, backPort
 	}
-	var rxRef, txRef xtypes.GrantRef
-	var port xtypes.Port
-	if _, err := fmt.Sscanf(refStr, "%d/%d/%d", &rxRef, &txRef, &port); err != nil {
-		return fmt.Errorf("netback: bad ring-ref %q: %w", refStr, xtypes.ErrInvalid)
-	}
-	// Map the ring pages through the grant mechanism: this is where the IVC
-	// policy bites if the guest was never linked to this shard.
-	rxMap, err := b.H.MapGrant(b.Dom, guest, rxRef, true)
-	if err != nil {
-		return err
-	}
-	txMap, err := b.H.MapGrant(b.Dom, guest, txRef, true)
-	if err != nil {
-		rxMap.Unmap()
-		return err
-	}
-	backPort, err := b.H.EvtchnBind(b.Dom, guest, port)
-	if err != nil {
-		rxMap.Unmap()
-		txMap.Unmap()
-		return err
-	}
-	v.rxRef, v.txRef, v.backPort = rxRef, txRef, backPort
 	v.connected = true
 	b.XS.Write(xenstore.TxNone, b.vifPath(guest)+"/state", "connected")
 	b.startPumps(v)
@@ -223,7 +321,9 @@ func (b *Backend) WatchAndServe(p *sim.Proc) {
 			return
 		}
 		// A frontend advertisement looks like
-		// /local/domain/<g>/device/vif/0/ring-ref.
+		// /local/domain/<g>/device/vif/0/ring-ref. Multi-queue frontends
+		// publish their extra ring-ref-<n> keys first and the legacy key
+		// last, so matching on it sees a complete advertisement.
 		var g uint32
 		var rest string
 		if n, _ := fmt.Sscanf(ev.Path, "/local/domain/%d/device/vif/0/%s", &g, &rest); n != 2 || rest != "ring-ref" {
@@ -242,14 +342,30 @@ func (b *Backend) WatchAndServe(p *sim.Proc) {
 	}
 }
 
-// CreateVif provisions the backend side of a vif for guest. The toolstack
-// calls this (through its XenStore writes) when attaching a network device.
+// CreateVif provisions a single-queue vif for guest. The toolstack calls
+// this (through its XenStore writes) when attaching a network device.
 func (b *Backend) CreateVif(guest xtypes.DomID) *vif {
+	return b.CreateVifQueues(guest, 1)
+}
+
+// CreateVifQueues provisions a vif with n ring pairs. Flows are hashed
+// across the queues; each queue gets its own pump pair, so a multi-queue
+// vif scales past a single ring's slot count at 10G+ line rates.
+func (b *Backend) CreateVifQueues(guest xtypes.DomID, n int) *vif {
+	if n < 1 {
+		n = 1
+	}
 	v := &vif{
 		guest: guest,
-		rx:    ring.New[Packet, ack](b.H.Env, ring.DefaultSlots),
-		tx:    ring.New[Packet, ack](b.H.Env, ring.DefaultSlots),
-		inbox: sim.NewChan[Packet](b.H.Env),
+		rxSig: sim.NewSignal(b.H.Env),
+	}
+	for qi := 0; qi < n; qi++ {
+		v.queues = append(v.queues, &vifQueue{
+			id:    qi,
+			rx:    ring.New[Packet, ack](b.H.Env, ring.DefaultSlots),
+			tx:    ring.New[Packet, ack](b.H.Env, ring.DefaultSlots),
+			inbox: sim.NewChan[Packet](b.H.Env),
+		})
 	}
 	b.vifs[guest] = v
 	b.XS.Write(xenstore.TxNone, b.vifPath(guest)+"/state", "init")
@@ -263,81 +379,134 @@ func (b *Backend) RemoveVif(guest xtypes.DomID) {
 		return
 	}
 	b.stopPumps(v)
-	v.rx.Break()
-	v.tx.Break()
+	for _, q := range v.queues {
+		q.rx.Break()
+		q.tx.Break()
+	}
+	v.rxSig.Broadcast()
 	delete(b.vifs, guest)
 	b.XS.Rm(xenstore.TxNone, b.vifPath(guest))
 }
 
-// startPumps spawns the per-vif forwarding processes.
+// startPumps spawns the per-queue forwarding processes.
 func (b *Backend) startPumps(v *vif) {
-	// rxPump: wire inbox -> rx ring.
-	v.rxPump = b.H.Env.Spawn(fmt.Sprintf("netback-rx-%v", v.guest), func(p *sim.Proc) {
-		for {
-			pkt, ok := v.inbox.Recv(p)
-			if !ok {
-				return
-			}
-			start := p.Now()
-			// Reap pending acks to free rx slots.
+	for _, q := range v.queues {
+		q := q
+		// rxPump: wire inbox -> rx ring, a burst per wakeup.
+		q.rxPump = b.H.Env.Spawn(fmt.Sprintf("netback-rx-%v-q%d", v.guest, q.id), func(p *sim.Proc) {
+			buf := make([]Packet, ring.DefaultSlots)
 			for {
-				if _, ok := v.rx.TryPopResponse(); !ok {
-					break
+				pkt, ok := q.inbox.Recv(p)
+				if !ok {
+					return
+				}
+				// Drain whatever else the wire delivered while we slept:
+				// the whole burst is serviced under one batch charge.
+				buf[0] = pkt
+				n := 1
+				for n < len(buf) {
+					more, ok := q.inbox.TryRecv()
+					if !ok {
+						break
+					}
+					buf[n] = more
+					n++
+				}
+				start := p.Now()
+				// Reap pending acks to free rx slots.
+				for {
+					if _, ok := q.rx.TryPopResponse(); !ok {
+						break
+					}
+				}
+				b.H.Compute(p, b.Dom, perBatchCPU+sim.Duration(n)*perDescCPU)
+				before := q.rx.Stats()
+				pushed := 0
+				for pushed < n {
+					k := q.rx.TryPushRequestBatch(buf[pushed:n])
+					pushed += k
+					if pushed == n {
+						break
+					}
+					if k == 0 {
+						// Ring full: the free slots are held by unconsumed
+						// acks, so block on the next ack rather than raw
+						// space.
+						if _, err := q.rx.PopResponse(p); err != nil {
+							// Ring broken mid-batch (restart): the in-hand
+							// descriptor is the counted drop; the rest of
+							// the burst is accounted like inbox residue
+							// drained by Restart.
+							b.DroppedPackets++
+							return
+						}
+					}
+				}
+				after := q.rx.Stats()
+				b.notifySentRx.Add(after.NotifiesToBack - before.NotifiesToBack)
+				b.notifySupRx.Add(after.SuppressedToBack - before.SuppressedToBack)
+				b.batchRx.Observe(float64(n))
+				v.rxSig.Broadcast()
+				b.ForwardedRx += int64(n)
+				b.rttRx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
+				// The ring's notify hook models the event-channel signal; the
+				// hypercall itself is charged above.
+			}
+		})
+		// txPump: tx ring -> wire, draining the ring per wakeup.
+		q.txPump = b.H.Env.Spawn(fmt.Sprintf("netback-tx-%v-q%d", v.guest, q.id), func(p *sim.Proc) {
+			buf := make([]Packet, ring.DefaultSlots)
+			acks := make([]ack, ring.DefaultSlots)
+			var prev ring.Stats
+			for {
+				n, err := q.tx.PopRequestBatch(p, buf)
+				if err != nil {
+					return // broken
+				}
+				start := p.Now()
+				b.H.Compute(p, b.Dom, perBatchCPU+sim.Duration(n)*perDescCPU)
+				for i := 0; i < n; i++ {
+					b.NIC.Transmit(p, buf[i].Bytes)
+				}
+				if q.tx.Broken() {
+					return
+				}
+				q.tx.PushResponseBatch(acks[:n])
+				b.ForwardedTx += int64(n)
+				b.batchTx.Observe(float64(n))
+				cur := q.tx.Stats()
+				b.notifySentTx.Add(cur.NotifiesToBack - prev.NotifiesToBack)
+				b.notifySupTx.Add(cur.SuppressedToBack - prev.SuppressedToBack)
+				prev = cur
+				b.rttTx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
+				if b.TxSink != nil {
+					for i := 0; i < n; i++ {
+						b.TxSink(v.guest, buf[i])
+					}
 				}
 			}
-			b.H.Compute(p, b.Dom, perChunkCPU)
-			// When the ring is full the free slots are held by unconsumed
-			// acks, so block on the next ack rather than on raw space.
-			for !v.rx.TryPushRequest(pkt) {
-				if _, err := v.rx.PopResponse(p); err != nil {
-					b.DroppedPackets++
-					return // ring broken: restart in progress
-				}
-			}
-			b.ForwardedRx++
-			b.rttRx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
-			// The ring's notify hook models the event-channel signal; the
-			// hypercall itself is charged above.
-		}
-	})
-	// txPump: tx ring -> wire.
-	v.txPump = b.H.Env.Spawn(fmt.Sprintf("netback-tx-%v", v.guest), func(p *sim.Proc) {
-		for {
-			pkt, err := v.tx.PopRequest(p)
-			if err != nil {
-				return // broken
-			}
-			start := p.Now()
-			b.H.Compute(p, b.Dom, perChunkCPU)
-			b.NIC.Transmit(p, pkt.Bytes)
-			if v.tx.Broken() {
-				return
-			}
-			v.tx.PushResponse(ack{})
-			b.ForwardedTx++
-			b.rttTx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
-			if b.TxSink != nil {
-				b.TxSink(v.guest, pkt)
-			}
-		}
-	})
+		})
+	}
 }
 
 func (b *Backend) stopPumps(v *vif) {
-	if v.rxPump != nil {
-		v.rxPump.Kill()
-		v.rxPump = nil
-	}
-	if v.txPump != nil {
-		v.txPump.Kill()
-		v.txPump = nil
+	for _, q := range v.queues {
+		if q.rxPump != nil {
+			q.rxPump.Kill()
+			q.rxPump = nil
+		}
+		if q.txPump != nil {
+			q.txPump.Kill()
+			q.txPump = nil
+		}
 	}
 }
 
 // WireDeliver models a packet arriving from the physical wire for guest. It
-// charges NIC receive time, then hands the packet to the backend. It returns
-// false — the packet is dropped — when the backend is mid-microreboot or the
-// guest's vif is not connected; the sender's transport sees this as loss.
+// charges NIC receive time, then hands the packet to the flow's queue. It
+// returns false — the packet is dropped — when the backend is mid-microreboot
+// or the guest's vif is not connected; the sender's transport sees this as
+// loss.
 func (b *Backend) WireDeliver(p *sim.Proc, guest xtypes.DomID, bytes int, seq int64) bool {
 	b.NIC.Receive(p, bytes)
 	if b.serving.Closed() {
@@ -349,7 +518,7 @@ func (b *Backend) WireDeliver(p *sim.Proc, guest xtypes.DomID, bytes int, seq in
 		b.DroppedPackets++
 		return false
 	}
-	v.inbox.Send(Packet{Bytes: bytes, Seq: seq})
+	v.queueFor(seq).inbox.Send(Packet{Bytes: bytes, Seq: seq})
 	return true
 }
 
@@ -362,15 +531,18 @@ func (b *Backend) Restart(p *sim.Proc, fast bool) {
 	// Break every ring: frontends observe the disconnect.
 	for _, v := range b.vifs {
 		b.stopPumps(v)
-		v.rx.Break()
-		v.tx.Break()
-		v.connected = false
-		// Drain stale wire packets queued for the dead instance.
-		for {
-			if _, ok := v.inbox.TryRecv(); !ok {
-				break
+		for _, q := range v.queues {
+			q.rx.Break()
+			q.tx.Break()
+			// Drain stale wire packets queued for the dead instance.
+			for {
+				if _, ok := q.inbox.TryRecv(); !ok {
+					break
+				}
 			}
 		}
+		v.connected = false
+		v.rxSig.Broadcast()
 		b.XS.Write(xenstore.TxNone, b.vifPath(v.guest)+"/state", "init")
 	}
 	// Re-attach to live hardware (device state was left intact).
@@ -383,8 +555,10 @@ func (b *Backend) Restart(p *sim.Proc, fast bool) {
 		p.Sleep(renegotiateTime)
 	}
 	for _, v := range b.vifs {
-		v.rx.Reset()
-		v.tx.Reset()
+		for _, q := range v.queues {
+			q.rx.Reset()
+			q.tx.Reset()
+		}
 		v.connected = true
 		b.XS.Write(xenstore.TxNone, b.vifPath(v.guest)+"/state", "connected")
 		b.startPumps(v)

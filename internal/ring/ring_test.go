@@ -109,9 +109,40 @@ func TestPushBlocksUntilSpace(t *testing.T) {
 	}
 }
 
+// Under req_event/rsp_event, the first push after ring init notifies (the
+// event indices start armed at 1); subsequent pushes are suppressed until
+// the consumer re-arms by blocking in PopRequest/PopResponse. TryPop does
+// not arm — pollers get no notifies.
 func TestNotifyHooks(t *testing.T) {
 	env := sim.NewEnv(1)
 	r := New[req, resp](env, 4)
+	backNotified, frontNotified := 0, 0
+	r.NotifyBack = func() { backNotified++ }
+	r.NotifyFront = func() { frontNotified++ }
+	env.Spawn("test", func(p *sim.Proc) {
+		r.TryPushRequest(req{1}) // crosses req_event=1: notify
+		r.PushRequest(p, req{2}) // consumer never re-armed: suppressed
+		r.TryPopRequest()
+		r.TryPopRequest()
+		r.PushResponse(resp{1}) // crosses rsp_event=1: notify
+		r.PushResponse(resp{2}) // suppressed
+	})
+	env.RunAll()
+	if backNotified != 1 || frontNotified != 1 {
+		t.Fatalf("notifies back=%d front=%d", backNotified, frontNotified)
+	}
+	st := r.Stats()
+	if st.NotifiesToBack != 1 || st.SuppressedToBack != 1 ||
+		st.NotifiesToFront != 1 || st.SuppressedToFront != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// AlwaysNotify restores the per-descriptor baseline: a notify per push.
+func TestAlwaysNotifyAblation(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 4)
+	r.AlwaysNotify = true
 	backNotified, frontNotified := 0, 0
 	r.NotifyBack = func() { backNotified++ }
 	r.NotifyFront = func() { frontNotified++ }
@@ -126,6 +157,123 @@ func TestNotifyHooks(t *testing.T) {
 	env.RunAll()
 	if backNotified != 2 || frontNotified != 2 {
 		t.Fatalf("notifies back=%d front=%d", backNotified, frontNotified)
+	}
+}
+
+// A consumer that blocks in PopRequest arms req_event on its way to sleep
+// (RING_FINAL_CHECK_FOR_REQUESTS), so the producer's wake-up push notifies —
+// and a racing push between check and sleep is never lost.
+func TestFinalCheckArmsNotify(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 4)
+	backNotified := 0
+	r.NotifyBack = func() { backNotified++ }
+	env.Spawn("backend", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if _, err := r.PopRequest(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	env.Spawn("frontend", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(sim.Millisecond) // let the backend drain and re-arm
+			r.TryPushRequest(req{i})
+		}
+	})
+	env.RunAll()
+	// Every push found the backend asleep and armed: all three notify.
+	if backNotified != 3 {
+		t.Fatalf("backNotified = %d", backNotified)
+	}
+}
+
+// Batch pushes make one notify decision for the whole burst.
+func TestBatchPushSingleNotify(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 8)
+	backNotified, frontNotified := 0, 0
+	r.NotifyBack = func() { backNotified++ }
+	r.NotifyFront = func() { frontNotified++ }
+	env.Spawn("test", func(p *sim.Proc) {
+		if n := r.TryPushRequestBatch([]req{{1}, {2}, {3}, {4}}); n != 4 {
+			t.Errorf("batch push = %d", n)
+		}
+		buf := make([]req, 8)
+		if n := r.TryPopRequestBatch(buf); n != 4 || buf[0].id != 1 || buf[3].id != 4 {
+			t.Errorf("batch pop = %d %v", n, buf[:n])
+		}
+		if err := r.PushResponseBatch([]resp{{1}, {2}, {3}, {4}}); err != nil {
+			t.Error(err)
+		}
+		rbuf := make([]resp, 8)
+		if n := r.TryPopResponseBatch(rbuf); n != 4 {
+			t.Errorf("batch pop responses = %d", n)
+		}
+	})
+	env.RunAll()
+	if backNotified != 1 || frontNotified != 1 {
+		t.Fatalf("notifies back=%d front=%d", backNotified, frontNotified)
+	}
+	if r.Inflight() != 0 {
+		t.Fatalf("inflight = %d", r.Inflight())
+	}
+}
+
+// PushRequestBatch larger than the ring blocks and completes as slots free;
+// PopRequestBatch drains whole bursts per wakeup.
+func TestBatchBlockingRoundTrip(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 4)
+	const total = 10
+	var served int
+	env.Spawn("backend", func(p *sim.Proc) {
+		buf := make([]req, 4)
+		rsp := make([]resp, 4)
+		for served < total {
+			n, err := r.PopRequestBatch(p, buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				rsp[i] = resp{buf[i].id}
+			}
+			if err := r.PushResponseBatch(rsp[:n]); err != nil {
+				t.Error(err)
+				return
+			}
+			served += n
+		}
+	})
+	env.Spawn("frontend", func(p *sim.Proc) {
+		reqs := make([]req, total)
+		for i := range reqs {
+			reqs[i] = req{i}
+		}
+		env.Spawn("reaper", func(p2 *sim.Proc) {
+			buf := make([]resp, 4)
+			got := 0
+			for got < total {
+				n, err := r.PopResponseBatch(p2, buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got += n
+			}
+		})
+		if err := r.PushRequestBatch(p, reqs); err != nil {
+			t.Error(err)
+		}
+	})
+	env.RunAll()
+	if served != total {
+		t.Fatalf("served = %d", served)
+	}
+	if r.Inflight() != 0 {
+		t.Fatalf("inflight = %d", r.Inflight())
 	}
 }
 
@@ -227,5 +375,112 @@ func TestSlotAccountingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Satellite regression: every push/pop variant — try, blocking, and batch,
+// both directions — must refuse service on a broken ring. TryPopResponse
+// historically skipped the broken check and let a frontend consume
+// responses (freeing slots) on a ring mid-microreboot.
+func TestBrokenRingRefusesAllVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		op   func(p *sim.Proc, r *Ring[req, resp]) bool // true = op succeeded
+	}{
+		{"TryPushRequest", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			return r.TryPushRequest(req{9})
+		}},
+		{"PushRequest", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			return r.PushRequest(p, req{9}) == nil
+		}},
+		{"TryPushRequestBatch", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			return r.TryPushRequestBatch([]req{{9}}) > 0
+		}},
+		{"PushRequestBatch", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			return r.PushRequestBatch(p, []req{{9}}) == nil
+		}},
+		{"TryPopRequest", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			_, ok := r.TryPopRequest()
+			return ok
+		}},
+		{"PopRequest", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			_, err := r.PopRequest(p)
+			return err == nil
+		}},
+		{"TryPopRequestBatch", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			return r.TryPopRequestBatch(make([]req, 2)) > 0
+		}},
+		{"PopRequestBatch", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			n, err := r.PopRequestBatch(p, make([]req, 2))
+			return err == nil && n > 0
+		}},
+		{"PushResponse", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			return r.PushResponse(resp{9}) == nil
+		}},
+		{"PushResponseBatch", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			return r.PushResponseBatch([]resp{{9}}) == nil
+		}},
+		{"TryPopResponse", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			_, ok := r.TryPopResponse()
+			return ok
+		}},
+		{"PopResponse", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			_, err := r.PopResponse(p)
+			return err == nil
+		}},
+		{"TryPopResponseBatch", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			return r.TryPopResponseBatch(make([]resp, 2)) > 0
+		}},
+		{"PopResponseBatch", func(p *sim.Proc, r *Ring[req, resp]) bool {
+			n, err := r.PopResponseBatch(p, make([]resp, 2))
+			return err == nil && n > 0
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := sim.NewEnv(1)
+			r := New[req, resp](env, 4)
+			env.Spawn("test", func(p *sim.Proc) {
+				// Queue work in both directions so the ops would succeed
+				// were the ring healthy, then break it.
+				r.TryPushRequest(req{1})
+				r.TryPushRequest(req{2})
+				r.TryPopRequest()
+				r.PushResponse(resp{1})
+				before := r.Inflight()
+				r.Break()
+				if tc.op(p, r) {
+					t.Errorf("%s succeeded on broken ring", tc.name)
+				}
+				if r.Inflight() != before {
+					t.Errorf("%s changed slot accounting on broken ring: %d -> %d",
+						tc.name, before, r.Inflight())
+				}
+			})
+			env.RunAll()
+		})
+	}
+}
+
+// Stats track descriptor totals across pushes, pops, and Reset (counters
+// survive a microreboot so restart-spanning experiments keep totals).
+func TestStatsAccounting(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := New[req, resp](env, 4)
+	env.Spawn("test", func(p *sim.Proc) {
+		r.TryPushRequestBatch([]req{{1}, {2}, {3}})
+		buf := make([]req, 4)
+		r.TryPopRequestBatch(buf)
+		r.PushResponseBatch([]resp{{1}, {2}, {3}})
+		rbuf := make([]resp, 4)
+		r.TryPopResponseBatch(rbuf)
+		r.Break()
+		r.Reset()
+		r.TryPushRequest(req{4})
+	})
+	env.RunAll()
+	st := r.Stats()
+	if st.ReqPushed != 4 || st.ReqPopped != 3 || st.RespPushed != 3 || st.RespPopped != 3 {
+		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -42,6 +42,12 @@ type GuestConfig struct {
 	// Net / Disk select whether to attach a vif / vbd.
 	Net  bool
 	Disk bool
+	// NetQueues selects the vif's ring-pair count (0 or 1 = single queue).
+	// Multi-queue vifs hash flows across the rings so one guest can keep a
+	// 10G+ NIC saturated past a single ring's slot count.
+	NetQueues int
+	// DiskQueues is the vbd counterpart, for NVMe-class disks.
+	DiskQueues int
 	// ConstraintTag restricts shard sharing: shards serving this guest may
 	// only be shared with guests carrying the same tag (§3.2.1). Empty means
 	// unconstrained.
@@ -254,7 +260,11 @@ func (ts *Toolstack) wireDevices(p *sim.Proc, g *Guest) error {
 		if err := ts.H.LinkShardClient(ts.Dom, g.NetB.Dom, dom); err != nil {
 			return err
 		}
-		g.NetB.CreateVif(dom)
+		nq := cfg.NetQueues
+		if nq < 1 {
+			nq = 1
+		}
+		g.NetB.CreateVifQueues(dom, nq)
 		g.Net = netdrv.NewFrontend(ts.H, dom, guestXS)
 		if err := g.Net.Connect(p, g.NetB); err != nil {
 			return err
@@ -273,7 +283,11 @@ func (ts *Toolstack) wireDevices(p *sim.Proc, g *Guest) error {
 		if err := g.BlkB.CreateImage(imgName, diskMB); err != nil {
 			return err
 		}
-		if err := g.BlkB.CreateVbd(dom, imgName); err != nil {
+		dq := cfg.DiskQueues
+		if dq < 1 {
+			dq = 1
+		}
+		if err := g.BlkB.CreateVbdQueues(dom, imgName, dq); err != nil {
 			return err
 		}
 		g.Blk = blkdrv.NewFrontend(ts.H, dom, guestXS)
