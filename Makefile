@@ -37,9 +37,11 @@ race:
 	$(GO) test -race ./...
 
 # bench boots the Xoar profile, drives a workload, and emits the telemetry
-# snapshot as JSON — the machine-readable counterpart of `xoarbench`.
+# snapshot as JSON — the machine-readable counterpart of `xoarbench` — then
+# runs the cluster serverless-churn study at artifact scale.
 bench:
 	$(GO) run ./cmd/xoarbench -metrics -json
+	$(GO) run ./cmd/xoarbench -cluster
 
 # bench-diff is the CI benchmark-regression gate: run the gated benchmarks
 # once (the sim is deterministic, so one iteration is exact) and compare
@@ -47,7 +49,7 @@ bench:
 # performance change, refresh the baseline with:
 #   go run ./cmd/benchdiff -baseline BENCH_baseline.json -update bench.out
 bench-diff:
-	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark|BenchmarkDataPath_TxBatching|BenchmarkDataPath_Saturation10G|BenchmarkMicro_RingBatchPop' -benchtime=1x -benchmem . | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark|BenchmarkDataPath_TxBatching|BenchmarkDataPath_Saturation10G|BenchmarkMicro_RingBatchPop|BenchmarkMicro_SimEventsPerSec|BenchmarkClusterChurn' -benchtime=1x -benchmem . | tee bench.out
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
 
 # check is the tier-1 gate: build + tests, plus vet, gofmt and xoarlint as

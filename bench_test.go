@@ -432,6 +432,65 @@ func BenchmarkDataPath_Saturation10G(b *testing.B) {
 	}
 }
 
+// BenchmarkMicro_SimEventsPerSec measures the simulator's event loop under a
+// steady wakeup load: 64 ticker processes sleeping 1ms each, 640 scheduled
+// events per iteration. With the event free list, recycled timers and the
+// buffered proc handoff, the steady-state loop must stay allocation-free —
+// allocs/op and B/op are gated at zero; events/op pins the deterministic
+// event count, and evts/s reports raw wall-clock throughput (ungated).
+func BenchmarkMicro_SimEventsPerSec(b *testing.B) {
+	env := sim.NewEnv(1)
+	const tickers = 64
+	events := 0
+	for i := 0; i < tickers; i++ {
+		env.Spawn("tick", func(p *sim.Proc) {
+			for {
+				p.Sleep(sim.Millisecond)
+				events++
+			}
+		})
+	}
+	// Warm up: let the free list and the run queue reach steady state, and
+	// churn some cancels through the stale-compaction path.
+	for i := 0; i < 200; i++ {
+		cancel := env.After(10*sim.Second, func() {})
+		cancel()
+	}
+	env.RunFor(100 * sim.Millisecond)
+	events = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.RunFor(10 * sim.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "evts/s")
+	}
+	env.Shutdown()
+}
+
+// BenchmarkClusterChurn runs the cluster serverless-churn artifact at full
+// scale: an 8-host fleet, 5000 micro guests at 1000 arrivals/s. Cold-start
+// percentiles, failure and migration counts, and placement spread are all
+// deterministic and gated in BENCH_baseline.json.
+func BenchmarkClusterChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ClusterChurn(experiments.DefaultClusterChurnConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(findRow(b, t, "cold-start p50").Measured, "ms-p50")
+		b.ReportMetric(findRow(b, t, "cold-start p95").Measured, "ms-p95")
+		b.ReportMetric(findRow(b, t, "cold-start p99").Measured, "ms-p99")
+		b.ReportMetric(findRow(b, t, "launched").Measured, "launched")
+		b.ReportMetric(findRow(b, t, "failed").Measured, "failed")
+		b.ReportMetric(findRow(b, t, "placement spread").Measured, "spread")
+		b.ReportMetric(findRow(b, t, "rebalance migrations").Measured, "migrations")
+	}
+}
+
 // BenchmarkMicro_RingBatchPop measures the batched ring transfer fast path:
 // a full-ring push and drain per iteration. The hot pump path must stay
 // allocation-free — allocs/op is gated at zero.

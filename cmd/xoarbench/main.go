@@ -8,6 +8,8 @@
 //	xoarbench -metrics         # boot Xoar, run a workload, dump telemetry
 //	xoarbench -metrics -json   # same, as JSON
 //	xoarbench -trace out.json  # Chrome trace_event JSON of a batched boot
+//	xoarbench -cluster         # serverless churn across a simulated fleet
+//	xoarbench -cluster -hosts 16 -rate 2000 -guests 10000
 package main
 
 import (
@@ -20,13 +22,43 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids: table6.1,table6.2,fig6.1,fig6.2,fig6.3,fig6.4,fig6.5,sec-tcb,sec-attacks,ablations,telemetry,boot-pipeline")
+	exp := flag.String("exp", "all", "comma-separated experiment ids: table6.1,table6.2,fig6.1,fig6.2,fig6.3,fig6.4,fig6.5,sec-tcb,sec-attacks,ablations,telemetry,boot-pipeline,cluster-churn")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = the paper's sizes)")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of text tables")
 	metrics := flag.Bool("metrics", false, "boot the Xoar profile, run a workload, and print the telemetry snapshot")
 	jsonOut := flag.Bool("json", false, "with -metrics: emit the snapshot as JSON")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON (telemetry-enabled boot + batched fleet build) to this file")
+	clusterRun := flag.Bool("cluster", false, "run the cluster serverless-churn study (cold-start percentiles, placement, rebalancing)")
+	hosts := flag.Int("hosts", 0, "with -cluster: fleet size (default 8)")
+	rate := flag.Float64("rate", 0, "with -cluster: fleet-wide guest arrivals per second (default 1000)")
+	guests := flag.Int("guests", 0, "with -cluster: total short-lived guests to submit (default 5000)")
 	flag.Parse()
+
+	if *clusterRun {
+		cfg := experiments.DefaultClusterChurnConfig()
+		if *hosts > 0 {
+			cfg.Hosts = *hosts
+		}
+		if *rate > 0 {
+			cfg.ArrivalsPerSec = *rate
+		}
+		if *guests > 0 {
+			cfg.Guests = *guests
+		}
+		t, err := experiments.ClusterChurn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarbench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Print(experiments.Markdown(t))
+		} else {
+			fmt.Print(experiments.Render(t))
+		}
+		if !*metrics && !expFlagSet() {
+			return
+		}
+	}
 
 	if *traceOut != "" {
 		data, err := experiments.TraceJSON()
@@ -99,6 +131,14 @@ func main() {
 				n = 2
 			}
 			return experiments.BootPipeline(n)
+		}},
+		{"cluster-churn", func() (experiments.Table, error) {
+			cfg := experiments.DefaultClusterChurnConfig()
+			cfg.Guests = int(float64(cfg.Guests) * *scale)
+			if cfg.Guests < 100 {
+				cfg.Guests = 100
+			}
+			return experiments.ClusterChurn(cfg)
 		}},
 	}
 

@@ -66,6 +66,10 @@ type Options struct {
 	// (Builder, restart engine, XenStore, driver backends). Nil disables the
 	// whole layer at negligible cost.
 	Telemetry *telemetry.Registry
+	// GuestQuota raises each Toolstack's MaxVMs above the conservative
+	// default, for high-density hosts (serverless churn packs hundreds of
+	// short-lived guests behind one toolstack). Zero keeps the default.
+	GuestQuota int
 }
 
 // Platform is the assembled system, either profile.
@@ -411,6 +415,9 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	for i, dom := range tsDoms {
 		ts := toolstack.New(h, dom, pl.XenStoreLogic, pl.Builder)
 		ts.Console = pl.Console
+		if opts.GuestQuota > 0 {
+			ts.SetQuota(toolstack.Quota{MaxVMs: opts.GuestQuota, MaxMemMB: 1 << 20})
+		}
 		// Delegate every driver shard to the first toolstack by default;
 		// additional toolstacks receive delegations explicitly (private
 		// cloud scenario, §3.4.2).

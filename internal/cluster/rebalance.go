@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+
+	"xoar/internal/migrate"
+	"xoar/internal/sim"
+	"xoar/internal/telemetry"
+	"xoar/internal/toolstack"
+)
+
+// RebalanceConfig tunes the fleet rebalancer.
+type RebalanceConfig struct {
+	// Interval between rebalance scans. Default 5s.
+	Interval sim.Duration
+	// MinGapMB is the smallest free-memory gap between the fullest and
+	// emptiest host worth a migration; below it the fleet is considered
+	// balanced. Default 512.
+	MinGapMB int
+}
+
+// RebalanceOnce scans the fleet and, if the fullest and emptiest hosts differ
+// by at least minGapMB of free memory, live-migrates one guest from the hot
+// host to the cold one. It reports whether a migration was attempted.
+//
+// Victim selection is the lowest DomID on the hot host that fits the cold
+// host — deterministic, and biased toward long-lived guests (low IDs), which
+// amortize the migration cost over more remaining lifetime.
+func (c *Cluster) RebalanceOnce(p *sim.Proc, minGapMB int) (bool, error) {
+	if minGapMB <= 0 {
+		minGapMB = 512
+	}
+	hot, cold := -1, -1
+	for i, h := range c.Hosts {
+		if hot < 0 || h.FreeMB() < c.Hosts[hot].FreeMB() {
+			hot = i
+		}
+		if cold < 0 || h.FreeMB() > c.Hosts[cold].FreeMB() {
+			cold = i
+		}
+	}
+	if hot == cold || c.Hosts[cold].FreeMB()-c.Hosts[hot].FreeMB() < minGapMB {
+		return false, nil
+	}
+	src, dst := c.Hosts[hot], c.Hosts[cold]
+	var victim *Guest
+	for id, g := range src.guests {
+		if g.migrating || g.gone || g.MemMB > dst.FreeMB() {
+			continue
+		}
+		if victim == nil || id < victim.Dom {
+			victim = g
+		}
+	}
+	if victim == nil {
+		return false, nil
+	}
+	return true, c.migrateGuest(p, victim, dst)
+}
+
+// migrateGuest moves g to dst with the standard orchestration: the source
+// toolstack drives the pre-copy, the destination Builder constructs the
+// receiving shell, and the destination toolstack adopts the result. The
+// guest record is updated in place so the caller's destroy closure follows
+// the guest to its new host.
+func (c *Cluster) migrateGuest(p *sim.Proc, g *Guest, dst *Host) error {
+	src := g.host
+	g.migrating = true
+	dst.committedMB += g.MemMB // reserve before the pre-copy starts
+	defer func() {
+		g.migrating = false
+		c.migDone.Broadcast()
+	}()
+
+	srcTS := src.PL.Toolstacks[0]
+	dstTS := dst.PL.Toolstacks[0]
+	newDom, res, err := migrate.LiveMigrate(
+		p, src.HV, srcTS.Dom, g.Dom,
+		dst.HV, dst.PL.BuilderDom,
+		c.link, migrate.DefaultOptions())
+	if err != nil {
+		dst.committedMB -= g.MemMB
+		c.MigrationFailures++
+		c.m.Counter("cluster_migration_failures_total").Inc()
+		return err
+	}
+	srcTS.Forget(g.Dom)
+	delete(src.guests, g.Dom)
+	src.committedMB -= g.MemMB
+
+	if err := dst.HV.SetParentTool(dst.PL.BuilderDom, newDom, dstTS.Dom); err != nil {
+		return fmt.Errorf("cluster: handoff of migrated %q: %w", g.Name, err)
+	}
+	if _, err := dstTS.Adopt(p, newDom, toolstack.GuestConfig{Name: g.Name, MemMB: g.MemMB}); err != nil {
+		return fmt.Errorf("cluster: adopt of migrated %q: %w", g.Name, err)
+	}
+	g.Dom = newDom
+	g.host = dst
+	dst.guests[newDom] = g
+	c.Migrations++
+	c.m.Counter("cluster_migrations_total").Inc()
+	c.m.Histogram("cluster_migration_downtime_ms", telemetry.LatencyMSBuckets).
+		Observe(float64(res.Downtime) / float64(sim.Millisecond))
+	return nil
+}
+
+// StartRebalancer spawns the periodic rebalance loop; the returned proc runs
+// until killed or env shutdown.
+func (c *Cluster) StartRebalancer(cfg RebalanceConfig) *sim.Proc {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * sim.Second
+	}
+	return c.Env.Spawn("cluster-rebalancer", func(p *sim.Proc) {
+		for {
+			p.Sleep(cfg.Interval)
+			if _, err := c.RebalanceOnce(p, cfg.MinGapMB); err != nil {
+				// A lost race with guest churn (destroyed mid-selection) is
+				// normal under load; the next scan re-evaluates from scratch.
+				continue
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A reduced-scale churn keeps the test quick; the full artifact scale runs
+// in BenchmarkClusterChurn and is gated against BENCH_baseline.json.
+func smallChurn() ClusterChurnConfig {
+	return ClusterChurnConfig{Hosts: 2, ArrivalsPerSec: 200, Guests: 400, Seed: 7}
+}
+
+func TestClusterChurnRuns(t *testing.T) {
+	tab, err := ClusterChurn(smallChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(label string) Row {
+		for _, r := range tab.Rows {
+			if r.Label == label {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return Row{}
+	}
+	if got := row("launched").Measured; got != 400 {
+		t.Fatalf("launched = %v, want 400 (failed = %v)", got, row("failed").Measured)
+	}
+	p50, p99 := row("cold-start p50").Measured, row("cold-start p99").Measured
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("cold-start p50=%v p99=%v", p50, p99)
+	}
+	// Spread balances instantaneous load and breaks ties toward host 0, so
+	// cumulative placements drift a little; anything past ~10% of the total
+	// means the policy stopped spreading.
+	if got := row("placement spread").Measured; got > 40 {
+		t.Fatalf("placement spread = %v", got)
+	}
+	if got := row("rebalance migrations").Measured; got < 1 {
+		t.Fatalf("rebalance migrations = %v", got)
+	}
+}
+
+func TestClusterChurnDeterministic(t *testing.T) {
+	a, err := ClusterChurn(smallChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterChurn(smallChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

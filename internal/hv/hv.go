@@ -426,6 +426,18 @@ func (h *Hypervisor) destroy(d *Domain, reason string) error {
 			h.Machine.Bus.Unassign(dev.Addr())
 		}
 	}
+	// A dead guest's shard-client links would dangle: close each shard's
+	// exposure window over it exactly as an explicit unlink would, so the
+	// audit log's interval index does not report the dead domain as a
+	// dependent forever. Shards are visited in ID order for determinism.
+	for id := xtypes.DomID(0); id < h.nextID; id++ {
+		s, ok := h.domains[id]
+		if !ok || !s.Cfg.Shard || !s.clients[d.ID] {
+			continue
+		}
+		delete(s.clients, d.ID)
+		h.emit("unlink-shard", s.ID, d.ID.String())
+	}
 	h.emit("destroy", d.ID, reason)
 	for _, f := range h.onDestroy {
 		f(d.ID)

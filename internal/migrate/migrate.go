@@ -106,6 +106,20 @@ func LiveMigrate(p *sim.Proc, src *hv.Hypervisor, caller, guest xtypes.DomID,
 		return xtypes.DomIDNone, res, fmt.Errorf("migrate: destination: %w", err)
 	}
 	dstDom := dstShell.ID
+	// abort reverses partial state when the migration fails after the shell
+	// exists: the destination reservation is reaped so a failed migration
+	// does not strand memory there (best-effort — the Builder-role dstCaller
+	// holds destroy rights in every profile; if a test caller does not, the
+	// shell stays paused and harmless), and the source guest, if we paused
+	// it for stop-and-copy, is resumed. The contract is: a failed migration
+	// leaves the guest running on the source, untouched.
+	srcPaused := false
+	abort := func() {
+		_ = dst.DestroyDomain(dstCaller, dstDom, "migration aborted")
+		if srcPaused {
+			_ = src.Unpause(caller, guest)
+		}
+	}
 
 	// Round 0: the full touched set, while the guest keeps running.
 	pending := d.Mem.TouchedPages()
@@ -117,6 +131,13 @@ func LiveMigrate(p *sim.Proc, src *hv.Hypervisor, caller, guest xtypes.DomID,
 		res.PagesCopied += pending
 		roundStart := p.Now()
 		link.transfer(p, pending)
+		// The guest runs during pre-copy and can die under us (crash, or an
+		// operator destroy racing the migration). Surface that between
+		// rounds instead of pushing stale pages until stop-and-copy.
+		if _, derr := src.Domain(guest); derr != nil {
+			abort()
+			return xtypes.DomIDNone, res, fmt.Errorf("migrate: source lost mid-transfer: %w", derr)
+		}
 		roundSecs := p.Now().Sub(roundStart).Seconds()
 		// Pages dirtied while this round was on the wire become the next
 		// round's work — bounded by the guest's reservation, since a VM
@@ -133,8 +154,10 @@ func LiveMigrate(p *sim.Proc, src *hv.Hypervisor, caller, guest xtypes.DomID,
 	// Stop-and-copy: pause, move the residual set plus the actual page
 	// contents, hand over, resume.
 	if err := src.Pause(caller, guest); err != nil {
+		abort()
 		return xtypes.DomIDNone, res, err
 	}
+	srcPaused = true
 	blackoutStart := p.Now()
 	if pending > 0 {
 		res.PagesCopied += pending
@@ -143,6 +166,7 @@ func LiveMigrate(p *sim.Proc, src *hv.Hypervisor, caller, guest xtypes.DomID,
 	// Contents move with the VM: replicate every touched page verbatim.
 	dd, err := dst.Domain(dstDom)
 	if err != nil {
+		abort()
 		return xtypes.DomIDNone, res, err
 	}
 	for pfn := xtypes.PFN(0); pfn < xtypes.PFN(d.Mem.MaxPages()); pfn++ {
@@ -151,11 +175,13 @@ func LiveMigrate(p *sim.Proc, src *hv.Hypervisor, caller, guest xtypes.DomID,
 			continue
 		}
 		if werr := dd.Mem.Write(pfn, data); werr != nil {
+			abort()
 			return xtypes.DomIDNone, res, werr
 		}
 	}
 	p.Sleep(activationCost)
 	if err := dst.Unpause(dstCaller, dstDom); err != nil {
+		abort()
 		return xtypes.DomIDNone, res, err
 	}
 	res.Downtime = p.Now().Sub(blackoutStart)

@@ -22,7 +22,8 @@ func twoHosts(t *testing.T) (*sim.Env, *hv.Hypervisor, *hv.Hypervisor, *hv.Domai
 	orch, _ := src.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "toolstack", MemMB: 128, Shard: true})
 	src.Unpause(hv.SystemCaller, orch.ID)
 	src.AssignPrivileges(hv.SystemCaller, orch.ID, hv.Assignment{Hypercalls: []xtypes.Hypercall{
-		xtypes.HyperMapForeign, xtypes.HyperDomctlPause, xtypes.HyperDomctlDestroy,
+		xtypes.HyperMapForeign, xtypes.HyperDomctlPause, xtypes.HyperDomctlUnpause,
+		xtypes.HyperDomctlDestroy,
 	}})
 
 	guest, _ := src.CreateDomain(hv.SystemCaller, hv.DomainConfig{Name: "app", MemMB: 1024})

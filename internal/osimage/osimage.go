@@ -106,6 +106,7 @@ const (
 	ImgDom0         = "linux-dom0"
 	ImgGuestPV      = "linux-guest-pv"
 	ImgGuestHVM     = "linux-guest-hvm"
+	ImgGuestMicro   = "nanos-guest-micro"
 	ImgBootloader   = "minios-bootloader"
 )
 
@@ -158,6 +159,14 @@ func DefaultCatalog() *Catalog {
 		{Name: ImgGuestHVM, Kind: Linux, MemMB: 1024,
 			KernelBoot: 6 * sim.Second, ServiceBoot: 11 * sim.Second,
 			SourceLoC: 7_600_000, CompiledLoC: 400_000},
+		{Name: ImgGuestMicro, Kind: NanOS, MemMB: 64,
+			// A unikernel-style serverless function image: single-purpose,
+			// no userspace bring-up to speak of. Millisecond-class boot is
+			// what makes thousands-per-second churn (Nanvix-style density)
+			// feasible; the Builder's scrub and construct costs then dominate
+			// the cold-start path.
+			KernelBoot: 2 * sim.Millisecond, ServiceBoot: 2 * sim.Millisecond,
+			SourceLoC: 15_000, CompiledLoC: 9_000},
 		{Name: ImgBootloader, Kind: MiniOS, MemMB: 32,
 			KernelBoot: 250 * sim.Millisecond, ServiceBoot: 500 * sim.Millisecond,
 			SourceLoC: 20_000, CompiledLoC: 9_000},

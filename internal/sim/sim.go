@@ -66,13 +66,18 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration between two instants.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// event is a scheduled resumption of a process or a callback.
+// event is a scheduled resumption of a process or a callback. Events are
+// recycled through Env.free once they fire or are compacted away, so model
+// code that schedules millions of timers (fleet-scale churn) does not allocate
+// per event.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break so equal-time events fire in schedule order
+	gen  uint64 // bumped on recycle; cancel tokens for old incarnations no-op
 	proc *Proc  // process to resume (nil for fn events)
 	fn   func() // callback to invoke (nil for proc events)
-	// canceled events stay in the heap but are skipped when popped.
+	// canceled events stay in the heap but are skipped when popped (or
+	// removed wholesale by compaction).
 	canceled bool
 }
 
@@ -110,6 +115,13 @@ type Env struct {
 	running *Proc // process currently executing, nil when scheduler runs
 	nextID  int
 
+	// free holds recycled event structs for reuse by schedule.
+	free []*event
+	// stale counts canceled events still sitting in the queue; once they
+	// outnumber live entries the queue is compacted.
+	stale       int
+	compactions int
+
 	// yield is signalled by the running process when it blocks or exits.
 	yield chan struct{}
 
@@ -131,22 +143,96 @@ func (e *Env) Now() Time { return e.now }
 // Rand returns the environment's deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
-// schedule enqueues an event at absolute time at.
+// schedule enqueues an event at absolute time at, reusing a recycled event
+// struct when one is available.
 func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.proc, ev.fn, ev.canceled = at, e.seq, p, fn, false
+	} else {
+		ev = &event{at: at, seq: e.seq, proc: p, fn: fn}
+	}
+	if p != nil {
+		p.pending = ev
+	}
 	heap.Push(&e.queue, ev)
 	return ev
 }
 
+// recycle returns a fired or discarded event to the free list. Bumping gen
+// invalidates any outstanding cancel token for this incarnation.
+func (e *Env) recycle(ev *event) {
+	ev.gen++
+	ev.proc, ev.fn = nil, nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
+}
+
+// discard removes a stale (canceled or dead-owner) event that has been taken
+// out of the queue, updating the bookkeeping that schedule maintains.
+func (e *Env) discard(ev *event) {
+	if ev.canceled {
+		e.stale--
+	}
+	if ev.proc != nil && ev.proc.pending == ev {
+		ev.proc.pending = nil
+	}
+	e.recycle(ev)
+}
+
 // After schedules fn to run after delay d. The returned cancel function
-// removes the callback if it has not fired yet.
+// removes the callback if it has not fired yet; calling it after the callback
+// ran (or canceling twice) is a harmless no-op, even though the underlying
+// event struct may since have been recycled for an unrelated timer.
 func (e *Env) After(d Duration, fn func()) (cancel func()) {
 	ev := e.schedule(e.now.Add(d), nil, fn)
-	return func() { ev.canceled = true }
+	gen := ev.gen
+	return func() {
+		if ev.gen != gen || ev.canceled {
+			return
+		}
+		ev.canceled = true
+		e.stale++
+		e.maybeCompact()
+	}
+}
+
+// compactMinQueue is the queue size below which compaction is never worth it;
+// peekLive already discards stale roots lazily.
+const compactMinQueue = 128
+
+// maybeCompact rebuilds the event heap without stale entries once more than
+// half of a non-trivial queue is dead weight — canceled timers and wakeups
+// owned by finished processes. Without this, a workload that arms and cancels
+// timers per guest (churn at fleet scale) grows the heap without bound. The
+// rebuild cannot perturb determinism: pop order is the strict total order
+// (at, seq), independent of the heap's internal layout.
+func (e *Env) maybeCompact() {
+	if len(e.queue) < compactMinQueue || e.stale*2 <= len(e.queue) {
+		return
+	}
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.canceled || (ev.proc != nil && ev.proc.done) {
+			e.discard(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	e.stale = 0
+	heap.Init(&e.queue)
+	e.compactions++
 }
 
 // Proc is a cooperative simulation process.
@@ -157,6 +243,10 @@ type Proc struct {
 	resume chan struct{}
 	done   bool
 	killed bool
+	// pending is the queued wakeup for this process, if any. A live process
+	// has at most one (it is blocked on exactly one thing); tracking it lets
+	// Kill cancel the orphaned wakeup instead of leaving it to bloat the heap.
+	pending *event
 	// doneWatchers are signalled when the process terminates.
 	doneSig *Signal
 }
@@ -166,10 +256,13 @@ type Proc struct {
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.nextID++
 	p := &Proc{
-		env:    e,
-		name:   name,
-		id:     e.nextID,
-		resume: make(chan struct{}),
+		env:  e,
+		name: name,
+		id:   e.nextID,
+		// A one-slot buffer lets the scheduler hand off without blocking on
+		// the resumed goroutine's wakeup; at most one resume is ever
+		// outstanding because a process has at most one pending event.
+		resume: make(chan struct{}, 1),
 	}
 	p.doneSig = NewSignal(e)
 	e.procs[p] = struct{}{}
@@ -241,8 +334,16 @@ func (p *Proc) Kill() {
 	}
 	p.killed = true
 	p.env.emitTrace("kill", p.name)
+	// The process's queued wakeup (a sleep, say) is orphaned by the kill:
+	// cancel it so compaction can reclaim it instead of letting dead guests'
+	// timers accumulate in the heap.
+	if ev := p.pending; ev != nil && !ev.canceled {
+		ev.canceled = true
+		p.env.stale++
+	}
 	// Schedule a resumption so the goroutine unwinds promptly.
 	p.env.schedule(p.env.now, p, nil)
+	p.env.maybeCompact()
 }
 
 // WaitDone blocks the calling process until target terminates.
@@ -262,6 +363,7 @@ func (e *Env) peekLive() *event {
 		ev := e.queue[0]
 		if ev.canceled || (ev.proc != nil && ev.proc.done) {
 			heap.Pop(&e.queue)
+			e.discard(ev)
 			continue
 		}
 		return ev
@@ -281,12 +383,18 @@ func (e *Env) step() bool {
 		e.now = ev.at
 	}
 	if ev.fn != nil {
+		fn := ev.fn
+		e.recycle(ev)
 		e.lastEv = "fn-callback"
 		e.emitTrace("callback", "")
-		ev.fn()
+		fn()
 		return true
 	}
 	p := ev.proc
+	if p.pending == ev {
+		p.pending = nil
+	}
+	e.recycle(ev)
 	e.lastEv = p.name
 	e.emitTrace("resume", p.name)
 	e.running = p
@@ -351,3 +459,11 @@ func (e *Env) Shutdown() {
 // LiveProcs returns the number of processes that have started but not
 // terminated. Used by tests to detect leaks.
 func (e *Env) LiveProcs() int { return len(e.procs) }
+
+// QueueLen reports the number of events currently in the heap, including
+// stale entries that compaction has not yet reclaimed. Diagnostic only.
+func (e *Env) QueueLen() int { return len(e.queue) }
+
+// Compactions reports how many stale-event compaction passes have run.
+// Diagnostic only.
+func (e *Env) Compactions() int { return e.compactions }

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFleetSnapshotLabelsHost(t *testing.T) {
+	f := NewFleet()
+	for _, h := range []string{"host-0", "host-1"} {
+		r := f.Host(h)
+		r.Counter("builder_builds_total").Add(1)
+		r.Counter("builder_builds_total", L("image", "micro")).Add(2)
+	}
+	s := f.Snapshot()
+	// Plain byte order on the rewritten IDs, as in Registry.Snapshot.
+	want := []string{
+		"builder_builds_total{host=host-0,image=micro}",
+		"builder_builds_total{host=host-0}",
+		"builder_builds_total{host=host-1,image=micro}",
+		"builder_builds_total{host=host-1}",
+	}
+	var got []string
+	for _, c := range s.Counters {
+		got = append(got, c.Name)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged counter IDs:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestFleetSameMetricDoesNotCollide(t *testing.T) {
+	f := NewFleet()
+	f.Host("a").Counter("restart_total", L("comp", "netback")).Add(3)
+	f.Host("b").Counter("restart_total", L("comp", "netback")).Add(5)
+	s := f.Snapshot()
+	if len(s.Counters) != 2 {
+		t.Fatalf("want 2 distinct series, got %d: %+v", len(s.Counters), s.Counters)
+	}
+	if s.Counters[0].Value != 3 || s.Counters[1].Value != 5 {
+		t.Fatalf("per-host values merged wrong: %+v", s.Counters)
+	}
+}
+
+func TestFleetHostIsStable(t *testing.T) {
+	f := NewFleet()
+	if f.Host("x") != f.Host("x") {
+		t.Fatal("Host must return the same registry per name")
+	}
+	if f.Host("x") == f.Host("y") {
+		t.Fatal("distinct hosts must get distinct registries")
+	}
+}
+
+func TestNilFleetIsDisabled(t *testing.T) {
+	var f *Fleet
+	if r := f.Host("x"); r != nil {
+		t.Fatal("nil fleet must hand out nil registries")
+	}
+	// The nil registry chain must be safe to use.
+	f.Host("x").Counter("a_b_total").Add(1)
+	if s := f.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil fleet snapshot must be empty")
+	}
+}
+
+func TestWithHostLabelSortsKeys(t *testing.T) {
+	cases := map[string]string{
+		"a_b_total":                 "a_b_total{host=h}",
+		"a_b_total{comp=net}":       "a_b_total{comp=net,host=h}",
+		"a_b_total{zone=z}":         "a_b_total{host=h,zone=z}",
+		"a_b_total{comp=n,zone=z}":  "a_b_total{comp=n,host=h,zone=z}",
+		"a_b_total{image=m,op=get}": "a_b_total{host=h,image=m,op=get}",
+	}
+	for in, want := range cases {
+		if got := withHostLabel(in, "h"); got != want {
+			t.Errorf("withHostLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

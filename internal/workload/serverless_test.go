@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"xoar/internal/sim"
+)
+
+// stubLauncher models a fleet with a fixed boot cost and a capacity limit.
+type stubLauncher struct {
+	bootCost sim.Duration
+	capacity int
+	resident int
+}
+
+func (s *stubLauncher) Launch(p *sim.Proc, name string, memMB int) (func(*sim.Proc) error, error) {
+	if s.resident >= s.capacity {
+		return nil, errors.New("stub: full")
+	}
+	s.resident++
+	p.Sleep(s.bootCost)
+	return func(*sim.Proc) error { s.resident--; return nil }, nil
+}
+
+func TestServerlessChurnAccounting(t *testing.T) {
+	env := sim.NewEnv(7)
+	l := &stubLauncher{bootCost: 10 * sim.Millisecond, capacity: 1 << 30}
+	var st ChurnStats
+	env.Spawn("churn", func(p *sim.Proc) {
+		st = ServerlessChurn(p, l, ChurnConfig{
+			ArrivalsPerSec: 500, Total: 400, MeanLifetime: 100 * sim.Millisecond,
+		})
+	})
+	env.RunFor(60 * sim.Second)
+	env.Shutdown()
+	if st.Submitted != 400 || st.Launched != 400 || st.Failed != 0 {
+		t.Fatalf("submitted/launched/failed = %d/%d/%d", st.Submitted, st.Launched, st.Failed)
+	}
+	// The stub boots in exactly 10ms, so every percentile is exactly 10ms.
+	if st.ColdStartP50 != 10*sim.Millisecond || st.ColdStartP99 != 10*sim.Millisecond {
+		t.Fatalf("cold start p50=%v p99=%v, want 10ms", st.ColdStartP50, st.ColdStartP99)
+	}
+	// ~500/s arrivals with ~110ms submit-to-teardown: tens resident.
+	if st.PeakResident < 10 || st.PeakResident > 200 {
+		t.Fatalf("peak resident = %d", st.PeakResident)
+	}
+	if l.resident != 0 {
+		t.Fatalf("stub still hosts %d guests", l.resident)
+	}
+}
+
+func TestServerlessChurnCountsFailures(t *testing.T) {
+	env := sim.NewEnv(7)
+	l := &stubLauncher{bootCost: sim.Millisecond, capacity: 5}
+	var st ChurnStats
+	env.Spawn("churn", func(p *sim.Proc) {
+		st = ServerlessChurn(p, l, ChurnConfig{
+			ArrivalsPerSec: 10000, Total: 100, MeanLifetime: sim.Second,
+		})
+	})
+	env.RunFor(120 * sim.Second)
+	env.Shutdown()
+	if st.Failed == 0 {
+		t.Fatal("overload produced no failures")
+	}
+	if st.Launched+st.Failed != 100 {
+		t.Fatalf("launched %d + failed %d != 100", st.Launched, st.Failed)
+	}
+	if st.PeakResident > 5 {
+		t.Fatalf("peak resident %d exceeded capacity 5", st.PeakResident)
+	}
+}
+
+func TestServerlessChurnDeterministic(t *testing.T) {
+	runOnce := func() ChurnStats {
+		env := sim.NewEnv(11)
+		l := &stubLauncher{bootCost: 3 * sim.Millisecond, capacity: 1 << 30}
+		var st ChurnStats
+		env.Spawn("churn", func(p *sim.Proc) {
+			st = ServerlessChurn(p, l, ChurnConfig{ArrivalsPerSec: 800, Total: 500})
+		})
+		env.RunFor(60 * sim.Second)
+		env.Shutdown()
+		return st
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := []sim.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(s, 50); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(s, 99); got != 10 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := percentile(s[:1], 99); got != 1 {
+		t.Fatalf("p99 of singleton = %v", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("p50 of empty = %v", got)
+	}
+}

@@ -15,7 +15,9 @@ import (
 // suffix is canonical (exporters derive display units from it), counters
 // end in _total, and labels stay bounded — keys are literals and values
 // never come from fmt.Sprintf/strconv, the two ways per-domain identifiers
-// leak into label values and blow up registry cardinality.
+// leak into label values and blow up registry cardinality. The "host" label
+// key is reserved for the fleet exporter (telemetry.Fleet), which injects it
+// at export time; instrumentation sites must stay host-unaware.
 //
 // Names must also be literal at the call site: a variable name means the
 // series set is no longer knowable at wiring time, which defeats both this
@@ -138,6 +140,8 @@ func checkLabelArg(report func(token.Pos, string, ...interface{}), arg ast.Expr)
 		report(call.Args[0].Pos(), "label key must be a string literal (DESIGN.md §8)")
 	} else if !metricLabelKeyRE.MatchString(key) {
 		report(call.Args[0].Pos(), "label key %q is not a short lowercase identifier (DESIGN.md §8)", key)
+	} else if key == "host" {
+		report(call.Args[0].Pos(), "label key \"host\" is reserved: telemetry.Fleet injects it at export so fleet metrics don't collide across hosts — instrumentation sites stay host-unaware (DESIGN.md §8)")
 	}
 	if vc, ok := call.Args[1].(*ast.CallExpr); ok {
 		if vs, ok := vc.Fun.(*ast.SelectorExpr); ok {

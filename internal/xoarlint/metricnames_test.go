@@ -28,6 +28,7 @@ func wire(reg *telemetry.Registry, dom xtypes.DomID, name string) {
 	reg.Counter("BadName_total").Inc()
 	reg.Counter("netback_sent_total", telemetry.L("guest", fmt.Sprintf("dom%d", dom))).Inc()
 	reg.Counter("netback_seen_total", telemetry.L("Dir", "rx")).Inc()
+	reg.Counter("netback_rx_total", telemetry.L("host", "h0")).Inc()
 }
 `
 
@@ -41,6 +42,7 @@ func TestMetricnames(t *testing.T) {
 		`metric name "BadName_total" is not component_quantity_unit snake_case`,
 		"label value built with fmt.Sprintf is unbounded",
 		`label key "Dir" is not a short lowercase identifier`,
+		`label key "host" is reserved`,
 	)
 }
 
