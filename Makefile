@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint matrix check bench bench-diff
+.PHONY: build test race vet fmt lint matrix capmanifest check bench bench-diff
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,16 @@ lint:
 # change is reflected here, so the diff always shows the widened surface.
 matrix:
 	$(GO) run ./cmd/xoarlint -matrix > PRIVMATRIX.json
+
+# capmanifest regenerates the per-shard capability manifests that boot
+# profiles load their whitelists from (internal/capability/CAPMANIFEST.json).
+# Derived from the privilege matrix crossed with the declared shard roles;
+# TestCapManifestDrift fails until a surface change is reflected here.
+# Written via a temp file: the generator go:embeds the manifest, so a direct
+# `>` redirect would truncate the file before the binary compiles against it.
+capmanifest:
+	$(GO) run ./cmd/xoarlint -capmanifest > internal/capability/CAPMANIFEST.json.tmp
+	mv internal/capability/CAPMANIFEST.json.tmp internal/capability/CAPMANIFEST.json
 
 # race runs the full suite under the race detector (the telemetry layer is
 # exercised from parallel goroutines in its tests).

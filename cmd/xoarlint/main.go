@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	xoarlint [-list] [-json | -sarif | -github] [-matrix] [./... | dir ...]
+//	xoarlint [-list] [-json | -sarif | -github] [-matrix | -capmanifest | -surface] [./... | dir ...]
 //
 // With no arguments (or "./..."), the whole module containing the current
 // directory is analyzed. Diagnostics print as text by default; -json emits
@@ -11,7 +11,10 @@
 // ::error workflow commands for inline PR annotations.
 //
 // -matrix skips diagnostics and prints the privilege matrix built from
-// internal/hv (the PRIVMATRIX.json golden artifact) to stdout.
+// internal/hv (the PRIVMATRIX.json golden artifact) to stdout. -capmanifest
+// likewise prints the per-shard capability manifest derived from that matrix
+// (the internal/capability/CAPMANIFEST.json golden artifact), and -surface
+// prints its human-readable attack-surface report.
 //
 // Exit status: 0 clean, 1 violations, 2 load failure.
 package main
@@ -30,8 +33,10 @@ func main() {
 	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
 	githubOut := flag.Bool("github", false, "emit diagnostics as GitHub Actions ::error annotations")
 	matrix := flag.Bool("matrix", false, "print the internal/hv privilege matrix (PRIVMATRIX.json) and exit")
+	capmanifest := flag.Bool("capmanifest", false, "print the per-shard capability manifest (CAPMANIFEST.json) and exit")
+	surface := flag.Bool("surface", false, "print the per-shard attack-surface report and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: xoarlint [-list] [-json | -sarif | -github] [-matrix] [./... | dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: xoarlint [-list] [-json | -sarif | -github] [-matrix | -capmanifest | -surface] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,6 +49,10 @@ func main() {
 	}
 	if countTrue(*jsonOut, *sarifOut, *githubOut) > 1 {
 		fmt.Fprintln(os.Stderr, "xoarlint: -json, -sarif and -github are mutually exclusive")
+		os.Exit(2)
+	}
+	if countTrue(*matrix, *capmanifest, *surface) > 1 {
+		fmt.Fprintln(os.Stderr, "xoarlint: -matrix, -capmanifest and -surface are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -74,6 +83,24 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xoarlint: %v\n", err)
 			os.Exit(2)
+		}
+		b, err := m.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarlint: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+	if *capmanifest || *surface {
+		m, err := xoarlint.BuildCapManifest(pkgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xoarlint: %v\n", err)
+			os.Exit(2)
+		}
+		if *surface {
+			fmt.Print(m.SurfaceReport())
+			return
 		}
 		b, err := m.EncodeJSON()
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"xoar/internal/blkdrv"
 	"xoar/internal/builder"
+	"xoar/internal/capability"
 	"xoar/internal/consolemgr"
 	"xoar/internal/hv"
 	"xoar/internal/hw"
@@ -126,16 +127,15 @@ func bootShardDirect(p *sim.Proc, h *hv.Hypervisor, caller xtypes.DomID, cat *os
 	return d.ID, nil
 }
 
-// builderPrivileges is the whitelist the Builder needs: it is the single
-// fully-privileged component left after boot (§6.2).
-func builderPrivileges() []xtypes.Hypercall {
-	return []xtypes.Hypercall{
-		xtypes.HyperDomctlCreate, xtypes.HyperDomctlDestroy,
-		xtypes.HyperDomctlPause, xtypes.HyperDomctlUnpause,
-		xtypes.HyperDomctlMaxMem, xtypes.HyperDomctlPriv,
-		xtypes.HyperMapForeign, xtypes.HyperSetParentTool,
-		xtypes.HyperVMRollback, xtypes.HyperSetRestartPolicy,
-		xtypes.HyperDelegateAdmin,
+// Shard whitelists come from the generated capability manifest
+// (internal/capability/CAPMANIFEST.json): capgen derives each role's grant
+// set from the privilege matrix privflow builds out of internal/hv, and the
+// drift gates keep the artifact in lockstep with both the analyzer and this
+// file. Boot never names a Hyper* constant for a shard directly.
+func shardAssignment(role string) hv.Assignment {
+	return hv.Assignment{
+		Hypercalls: capability.Hypercalls(role),
+		IOPorts:    capability.IOPorts(role),
 	}
 }
 
@@ -165,11 +165,7 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	if err != nil {
 		return nil, err
 	}
-	if err := h.AssignPrivileges(hv.SystemCaller, bs.ID, hv.Assignment{
-		Hypercalls: append(builderPrivileges(),
-			xtypes.HyperAssignDevice, xtypes.HyperIOPortAccess,
-			xtypes.HyperSetVIRQ, xtypes.HyperDelegateAdmin),
-	}); err != nil {
+	if err := h.AssignPrivileges(hv.SystemCaller, bs.ID, shardAssignment(capability.RoleBootstrapper)); err != nil {
 		return nil, err
 	}
 	if err := h.Unpause(hv.SystemCaller, bs.ID); err != nil {
@@ -220,10 +216,7 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 		consoleDone.Open()
 	}
 	bootConsole := func(cp *sim.Proc) {
-		dom, cerr := bootShardDirect(cp, h, bs.ID, cat, "console", osimage.ImgConsole, hv.Assignment{
-			IOPorts:    []string{"console"},
-			Hypercalls: []xtypes.Hypercall{xtypes.HyperSetVIRQ},
-		})
+		dom, cerr := bootShardDirect(cp, h, bs.ID, cat, "console", osimage.ImgConsole, shardAssignment(capability.RoleConsole))
 		if cerr != nil {
 			err = cerr
 			consoleDone.Open()
@@ -251,9 +244,7 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	}
 
 	// --- Builder. -----------------------------------------------------------
-	pl.BuilderDom, err = bootShardDirect(p, h, bs.ID, cat, "builder", osimage.ImgBuilder, hv.Assignment{
-		Hypercalls: append(builderPrivileges(), xtypes.HyperAssignDevice, xtypes.HyperIOPortAccess, xtypes.HyperVMSnapshot),
-	})
+	pl.BuilderDom, err = bootShardDirect(p, h, bs.ID, cat, "builder", osimage.ImgBuilder, shardAssignment(capability.RoleBuilder))
 	if err != nil {
 		return nil, err
 	}
@@ -266,9 +257,7 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	pl.Engine.SetMetrics(opts.Telemetry)
 
 	// --- PCIBack: hardware init and enumeration. ----------------------------
-	pl.PCIBackDom, err = bootShardDirect(p, h, bs.ID, cat, "pciback", osimage.ImgPCIBack, hv.Assignment{
-		IOPorts: []string{"pci"},
-	})
+	pl.PCIBackDom, err = bootShardDirect(p, h, bs.ID, cat, "pciback", osimage.ImgPCIBack, shardAssignment(capability.RolePCIBack))
 	if err != nil {
 		return nil, err
 	}
@@ -285,20 +274,19 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	}
 	results := sim.NewChan[backendResult](h.Env)
 	backendReq := func(dev hw.Device) builder.Request {
-		name := "netback"
+		name, role := "netback", capability.RoleNetBack
 		image := osimage.ImgNetBack
 		if dev.Class() == xtypes.DevDisk {
-			name, image = "blkback", osimage.ImgBlkBack
+			name, role, image = "blkback", capability.RoleBlkBack, osimage.ImgBlkBack
 		}
+		priv := shardAssignment(role)
+		priv.PCIDevices = []xtypes.PCIAddr{dev.Addr()}
 		return builder.Request{
-			Requester: bs.ID,
-			Name:      name,
-			Image:     image,
-			Shard:     true,
-			Privileges: hv.Assignment{
-				PCIDevices: []xtypes.PCIAddr{dev.Addr()},
-				Hypercalls: []xtypes.Hypercall{xtypes.HyperVMSnapshot},
-			},
+			Requester:  bs.ID,
+			Name:       name,
+			Image:      image,
+			Shard:      true,
+			Privileges: priv,
 		}
 	}
 	startBackend := func(dev hw.Device, dom xtypes.DomID) func(*sim.Proc) {
@@ -376,21 +364,11 @@ func BootXoar(p *sim.Proc, h *hv.Hypervisor, cat *osimage.Catalog, opts Options)
 	tsReqs := make([]builder.Request, opts.Toolstacks)
 	for i := range tsReqs {
 		tsReqs[i] = builder.Request{
-			Requester: bs.ID,
-			Name:      fmt.Sprintf("toolstack-%d", i),
-			Image:     osimage.ImgToolstack,
-			Shard:     true,
-			Privileges: hv.Assignment{
-				Hypercalls: []xtypes.Hypercall{
-					xtypes.HyperDomctlPause, xtypes.HyperDomctlUnpause,
-					xtypes.HyperDomctlDestroy, xtypes.HyperDomctlMaxMem,
-					xtypes.HyperDelegateAdmin,
-					// Live migration: the toolstack copies guest memory out,
-					// audited against the parent-toolstack flag so it can
-					// only ever touch its own guests.
-					xtypes.HyperMapForeign,
-				},
-			},
+			Requester:  bs.ID,
+			Name:       fmt.Sprintf("toolstack-%d", i),
+			Image:      osimage.ImgToolstack,
+			Shard:      true,
+			Privileges: shardAssignment(capability.RoleToolstack),
 		}
 	}
 	var tsDoms []xtypes.DomID

@@ -1,61 +1,27 @@
 package seceval
 
-import "xoar/internal/xtypes"
+import (
+	"xoar/internal/capability"
+	"xoar/internal/xtypes"
+)
 
 // Hypervisor split analysis — the §7.1 future-work item: "splitting the
 // hypervisor into a privileged and non-privileged component, which run in
 // different hardware protection rings." Operations like guest page-table
 // updates, I/O-port management and trap-and-emulate genuinely need ring-0;
-// domain management, profiling and tracing do not. This file classifies the
-// model's hypercall surface accordingly and computes how much of it a split
-// hypervisor would move out of ring 0.
+// domain management, profiling and tracing do not. The classification itself
+// lives in internal/capability — it is an input to the generated capability
+// manifests, and the exhaustiveness test there keeps it total — this file
+// computes how much of the surface a split hypervisor would move out of
+// ring 0.
 
 // RingRequirement classifies one hypercall's hardware-privilege need.
-type RingRequirement uint8
+type RingRequirement = capability.Ring
 
 const (
-	// Ring0 operations manipulate hardware state directly: page tables,
-	// interrupt routing, I/O ports, device assignment.
-	Ring0 RingRequirement = iota
-	// Deprivileged operations "function correctly even when run in a lower
-	// privileged hardware protection domain" (§7.1): domain management,
-	// registry plumbing, profiling, policy bookkeeping.
-	Deprivileged
+	Ring0        = capability.Ring0
+	Deprivileged = capability.Deprivileged
 )
-
-// ringRequirement is the per-hypercall classification.
-var ringRequirement = map[xtypes.Hypercall]RingRequirement{
-	// Ring-0: memory, interrupts, ports, devices, snapshots of memory.
-	xtypes.HyperMapForeign:      Ring0,
-	xtypes.HyperGrantTableOp:    Ring0,
-	xtypes.HyperEvtchnOp:        Ring0,
-	xtypes.HyperPhysdevOp:       Ring0,
-	xtypes.HyperAssignDevice:    Ring0,
-	xtypes.HyperSetVIRQ:         Ring0,
-	xtypes.HyperIOPortAccess:    Ring0,
-	xtypes.HyperVMSnapshot:      Ring0,
-	xtypes.HyperVMRollback:      Ring0,
-	xtypes.HyperMemoryOpOwn:     Ring0,
-	xtypes.HyperSetTimerOp:      Ring0,
-	xtypes.HyperVCPUOp:          Ring0,
-	xtypes.HyperDebugOp:         Ring0,
-	xtypes.HyperSchedOp:         Ring0,
-	xtypes.HyperConsoleIO:       Ring0,
-	xtypes.HyperReadConsoleRing: Ring0,
-
-	// Deprivilegeable: management-plane calls whose work is bookkeeping.
-	xtypes.HyperDomctlCreate:     Deprivileged,
-	xtypes.HyperDomctlDestroy:    Deprivileged,
-	xtypes.HyperDomctlPause:      Deprivileged,
-	xtypes.HyperDomctlUnpause:    Deprivileged,
-	xtypes.HyperDomctlMaxMem:     Deprivileged,
-	xtypes.HyperDomctlPriv:       Deprivileged,
-	xtypes.HyperDelegateAdmin:    Deprivileged,
-	xtypes.HyperSetParentTool:    Deprivileged,
-	xtypes.HyperSetRestartPolicy: Deprivileged,
-	xtypes.HyperProfilingOp:      Deprivileged,
-	xtypes.HyperXenVersion:       Deprivileged,
-}
 
 // HVSplitReport summarizes the split.
 type HVSplitReport struct {
@@ -73,7 +39,7 @@ type HVSplitReport struct {
 func HVSplit(counts map[xtypes.Hypercall]int) HVSplitReport {
 	var rep HVSplitReport
 	for h := xtypes.Hypercall(0); h < xtypes.NumHypercalls; h++ {
-		req, ok := ringRequirement[h]
+		req, ok := capability.RingOf(h)
 		if !ok {
 			req = Ring0 // unclassified calls stay privileged, conservatively
 		}

@@ -1,0 +1,100 @@
+package seceval
+
+// Proof that the running whitelists are the generated artifact: every shard
+// alive after a Xoar boot must hold exactly the hypercall set its role's
+// CAPMANIFEST.json entry grants — no more, no fewer. Deleting a grant from
+// the manifest (or hand-editing boot to re-add a Hyper* literal) fails here
+// before it fails anywhere subtler.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"xoar/internal/capability"
+	"xoar/internal/xtypes"
+)
+
+// roleOfShard maps a booted shard's domain name to its manifest role. The
+// Bootstrapper and PCIBack are gone by the time the platform is up (§5.3,
+// §5.8), so they never appear here.
+func roleOfShard(name string) (string, bool) {
+	switch {
+	case name == "builder":
+		return capability.RoleBuilder, true
+	case name == "console":
+		return capability.RoleConsole, true
+	case name == "netback":
+		return capability.RoleNetBack, true
+	case name == "blkback":
+		return capability.RoleBlkBack, true
+	case strings.HasPrefix(name, "toolstack-"):
+		return capability.RoleToolstack, true
+	}
+	return "", false
+}
+
+func sortedCalls(hcs []xtypes.Hypercall) []xtypes.Hypercall {
+	out := append([]xtypes.Hypercall(nil), hcs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestShardWhitelistsDerivedFromManifest(t *testing.T) {
+	env, pl, _ := bootPlatform(t, false)
+	defer env.Shutdown()
+
+	matched := map[string]int{}
+	for _, d := range pl.HV.Domains() {
+		if !d.IsShard() {
+			continue
+		}
+		role, ok := roleOfShard(d.Name)
+		if !ok {
+			// XenStore shards hold no hypercall grants; anything else
+			// unmapped that does hold privilege is a hole in the manifest.
+			if len(d.Priv().Hypercalls) > 0 {
+				t.Errorf("shard %q holds %d hypercall grants but maps to no manifest role", d.Name, len(d.Priv().Hypercalls))
+			}
+			continue
+		}
+		matched[role]++
+
+		var live []xtypes.Hypercall
+		for hc := range d.Priv().Hypercalls {
+			live = append(live, hc)
+		}
+		live = sortedCalls(live)
+		want := sortedCalls(capability.Hypercalls(role))
+
+		if len(live) != len(want) {
+			t.Errorf("%s (%s): live whitelist %v, manifest grants %v", d.Name, role, live, want)
+			continue
+		}
+		for i := range want {
+			if live[i] != want[i] {
+				t.Errorf("%s (%s): live whitelist %v, manifest grants %v", d.Name, role, live, want)
+				break
+			}
+		}
+	}
+
+	for _, role := range []string{capability.RoleBuilder, capability.RoleConsole, capability.RoleNetBack, capability.RoleBlkBack, capability.RoleToolstack} {
+		if matched[role] == 0 {
+			t.Errorf("no live shard matched manifest role %q; boot shape changed?", role)
+		}
+	}
+}
+
+// TestRingClassificationCoversAllHypercalls is the loud replacement for the
+// old silent Ring0 fallback: a newly added xtypes.Hyper* constant without an
+// explicit entry in the capability ring map fails tier-1 here (and fails
+// `make capmanifest` at generation time) instead of being quietly lumped
+// into the privileged half of the split.
+func TestRingClassificationCoversAllHypercalls(t *testing.T) {
+	for h := xtypes.Hypercall(0); h < xtypes.NumHypercalls; h++ {
+		if _, ok := capability.RingOf(h); !ok {
+			t.Errorf("hypercall %v has no ring classification in internal/capability", h)
+		}
+	}
+}

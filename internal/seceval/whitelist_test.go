@@ -15,6 +15,7 @@ import (
 	"sort"
 	"testing"
 
+	"xoar/internal/capability"
 	"xoar/internal/hv"
 	"xoar/internal/xtypes"
 )
@@ -70,13 +71,12 @@ var hypercallInvokers = map[xtypes.Hypercall]func(h *hv.Hypervisor, caller, vict
 }
 
 // noHVEntryPoint lists whitelisted hypercalls enforced outside the
-// hypervisor's dispatch surface in this model: device assignment rides
-// AssignPrivileges (HyperDomctlPriv), and restart policies are audited in the
-// Builder via its own whitelist probe (builder.holds).
-var noHVEntryPoint = map[xtypes.Hypercall]bool{
-	xtypes.HyperAssignDevice:     true,
-	xtypes.HyperSetRestartPolicy: true,
-}
+// hypervisor's dispatch surface in this model (device assignment rides
+// AssignPrivileges; restart policies are audited by builder.holds). The set
+// comes straight from the manifest's rationale grants — the grants capgen
+// could not derive from a privilege-matrix row are exactly the ones no
+// invoker above can reach.
+var noHVEntryPoint = capability.NonHVGrants()
 
 func TestGuestDeniedEveryShardWhitelistedHypercall(t *testing.T) {
 	env, pl, guests := bootPlatform(t, false)

@@ -15,6 +15,14 @@ import (
 // invisible to the off-host log: queries like DependentsOf answer from
 // stale state and the "notify affected customers" workflow silently lies.
 //
+// Emission is detected structurally, end to end: an event leaves the
+// hypervisor through a func-typed Hypervisor field that accepts the audit
+// Event (h.Sink) — the subscriber wiring the log attaches to. A method
+// emits if it (transitively) calls through such a sink field; h.emit is
+// credited because its body performs the Sink call, not because of its
+// name, so severing the emit→Sink wiring re-flags every entry point that
+// relied on it.
+//
 // The check is interprocedural but presence-level (privflow owns
 // ordering): the entry point, or some helper it calls, must emit. Pure
 // data-path mutations (grant/evtchn tables, memory, Mem images) are out
@@ -47,7 +55,7 @@ var auditlogHVFields = map[string]bool{
 func init() {
 	Register(&Analyzer{
 		Name: "auditlog",
-		Doc:  "hv entry points mutating lifecycle/privilege state must append a hash-chained audit event via h.emit",
+		Doc:  "hv entry points mutating lifecycle/privilege state must append a hash-chained audit event through the Hypervisor's Event sink",
 		Run:  runAuditlog,
 	})
 }
@@ -62,6 +70,7 @@ func runAuditlog(p *Package) []Diagnostic {
 		return nil
 	}
 	methods := hypervisorMethods(p)
+	sinks := sinkFields(p)
 	memo := map[string]*auditSummary{}
 	var order []string
 	for name, m := range methods {
@@ -72,13 +81,13 @@ func runAuditlog(p *Package) []Diagnostic {
 	sort.Strings(order)
 	var diags []Diagnostic
 	for _, name := range order {
-		s := auditScan(methods, memo, name, map[string]bool{})
+		s := auditScan(methods, sinks, memo, name, map[string]bool{})
 		if len(s.mutates) > 0 && !s.emits {
 			m := methods[name]
 			diags = append(diags, Diagnostic{
 				Pos:      p.Fset.Position(m.fn.Name.Pos()),
 				Analyzer: "auditlog",
-				Message: fmt.Sprintf("hv.%s mutates lifecycle/privilege state (%s) without appending an audit event via %s.emit",
+				Message: fmt.Sprintf("hv.%s mutates lifecycle/privilege state (%s) without appending an audit event through %s's Event sink",
 					name, strings.Join(sortedKeys(s.mutates), ", "), m.recv),
 			})
 		}
@@ -86,9 +95,52 @@ func runAuditlog(p *Package) []Diagnostic {
 	return diags
 }
 
+// sinkFields collects the Hypervisor struct's func-typed fields taking the
+// audit Event — the structural signature of an audit-log sink. Calling
+// through one of them is what counts as emitting.
+func sinkFields(p *Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range p.Files {
+		if p.Test[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "Hypervisor" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				ft, ok := field.Type.(*ast.FuncType)
+				if !ok || ft.Params == nil {
+					continue
+				}
+				takesEvent := false
+				for _, pf := range ft.Params.List {
+					if id, ok := pf.Type.(*ast.Ident); ok && id.Name == "Event" {
+						takesEvent = true
+					}
+				}
+				if !takesEvent {
+					continue
+				}
+				for _, name := range field.Names {
+					out[name.Name] = true
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
 // auditScan computes, memoized and cycle-safe, which lifecycle state a
-// method (transitively) mutates and whether it (transitively) emits.
-func auditScan(methods map[string]*hvMethod, memo map[string]*auditSummary, name string, visiting map[string]bool) *auditSummary {
+// method (transitively) mutates and whether it (transitively) emits
+// through a sink field.
+func auditScan(methods map[string]*hvMethod, sinks map[string]bool, memo map[string]*auditSummary, name string, visiting map[string]bool) *auditSummary {
 	if s, ok := memo[name]; ok {
 		return s
 	}
@@ -143,12 +195,12 @@ func auditScan(methods map[string]*hvMethod, memo map[string]*auditSummary, name
 			if !ok || x.Name != m.recv {
 				return true
 			}
-			if sel.Sel.Name == "emit" {
+			if sinks[sel.Sel.Name] {
 				s.emits = true
 				return true
 			}
 			if _, isHelper := methods[sel.Sel.Name]; isHelper && sel.Sel.Name != name {
-				sub := auditScan(methods, memo, sel.Sel.Name, visiting)
+				sub := auditScan(methods, sinks, memo, sel.Sel.Name, visiting)
 				for k := range sub.mutates {
 					s.mutates[k] = true
 				}

@@ -8,9 +8,16 @@ import (
 // auditlogSrc covers the emit-presence analysis: direct emits, emits and
 // mutations carried through helpers, delete-based mutations, and the two
 // gap shapes (no emit at all, mutation in a helper the entry point calls).
+// Emission is wired end to end, as in the real hv: emit forwards through
+// the func-typed Sink field, which is what the analyzer actually credits.
 const auditlogSrc = `package hv
 
 import "xoar/internal/xtypes"
+
+type Event struct {
+	Kind string
+	Dom  xtypes.DomID
+}
 
 type Domain struct {
 	State      int
@@ -20,9 +27,14 @@ type Domain struct {
 type Hypervisor struct {
 	domains    map[xtypes.DomID]*Domain
 	virqRoutes map[int]xtypes.DomID
+	Sink       func(Event)
 }
 
-func (h *Hypervisor) emit(kind string, dom xtypes.DomID, arg string) {}
+func (h *Hypervisor) emit(kind string, dom xtypes.DomID, arg string) {
+	if h.Sink != nil {
+		h.Sink(Event{Kind: kind, Dom: dom})
+	}
+}
 
 func (h *Hypervisor) teardown(d *Domain) {
 	d.State = 9
@@ -64,9 +76,36 @@ func (h *Hypervisor) Lookup(caller, target xtypes.DomID) *Domain {
 func TestAuditlogGaps(t *testing.T) {
 	p := loadSrc(t, "xoar/internal/hv", auditlogSrc)
 	wantDiags(t, diagsOf(t, "auditlog", p),
-		"hv.SetParent mutates lifecycle/privilege state (Domain.parentTool) without appending an audit event via h.emit",
-		"hv.DropRoute mutates lifecycle/privilege state (virqRoutes) without appending an audit event via h.emit",
+		"hv.SetParent mutates lifecycle/privilege state (Domain.parentTool) without appending an audit event through h's Event sink",
+		"hv.DropRoute mutates lifecycle/privilege state (virqRoutes) without appending an audit event through h's Event sink",
 	)
+}
+
+// TestAuditlogSeveredSinkWiring pins the end-to-end property: emit is
+// credited because its body calls through the Sink field, not by name.
+// Severing that wiring re-flags every entry point that emitted through it.
+func TestAuditlogSeveredSinkWiring(t *testing.T) {
+	src := strings.Replace(auditlogSrc,
+		`	if h.Sink != nil {
+		h.Sink(Event{Kind: kind, Dom: dom})
+	}`,
+		"\t_ = kind", 1)
+	if src == auditlogSrc {
+		t.Fatal("fixture replace missed")
+	}
+	p := loadSrc(t, "xoar/internal/hv", src)
+	diags := diagsOf(t, "auditlog", p)
+	for _, want := range []string{"hv.Pause", "hv.Destroy", "hv.SetParent", "hv.DropRoute"} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("severed Sink wiring: %s not flagged (emit credited by name, not by wiring?)", want)
+		}
+	}
 }
 
 func TestAuditlogScopedToHV(t *testing.T) {

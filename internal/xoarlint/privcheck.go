@@ -109,8 +109,17 @@ func receiverName(fn *ast.FuncDecl, typeName string) string {
 
 // domIDParams returns the names of parameters typed xtypes.DomID.
 func domIDParams(p *Package, f *ast.File, fn *ast.FuncDecl) map[string]bool {
+	return domIDFields(p, f, fn.Type.Params)
+}
+
+// domIDFields is domIDParams over a bare parameter list — shared with
+// privflow's function-literal analysis, where there is no FuncDecl.
+func domIDFields(p *Package, f *ast.File, params *ast.FieldList) map[string]bool {
 	out := map[string]bool{}
-	for _, field := range fn.Type.Params.List {
+	if params == nil {
+		return out
+	}
+	for _, field := range params.List {
 		sel, ok := field.Type.(*ast.SelectorExpr)
 		if !ok || sel.Sel.Name != "DomID" {
 			continue

@@ -32,6 +32,26 @@ import (
 // point's own DomID parameters — auditing a constant is still a forgotten
 // audit.
 //
+// Function values (funcflow). Privilege also flows through functions as
+// data: closures stored into func-typed fields (h.Sink), callback
+// registries (h.onDestroy, Evtchn.SetHandler) and method values (f :=
+// h.reap). The walk distinguishes two fates for a function value:
+//
+//   - locally bound and invoked (f := func(){...}; f(), or an immediately
+//     invoked literal): the body is analyzed at the call site under the
+//     caller's current facts, like an inlined helper;
+//   - escaped (stored into a field or registry, passed as an argument,
+//     returned): the body runs at an unknown later time, so it is analyzed
+//     under an EMPTY fact state — audits performed before the store do not
+//     dominate the deferred execution. The value's own DomID parameters are
+//     entry-bound (they are the data the callback receives at invocation,
+//     so an audit inside the closure on its own parameter is the legitimate
+//     guard), and captured variables keep their entry binding for the same
+//     reason.
+//
+// A privileged mutation hidden behind a stored closure is therefore flagged
+// unless the closure re-audits for itself.
+//
 // The same walk powers the PRIVMATRIX.json artifact (see artifact.go): per
 // entry point, the specific xtypes.Hyper* privileges checked, whether
 // management rights are consulted, and which state roots are mutated — the
@@ -162,7 +182,7 @@ func privflowPackage(p *Package) ([]Diagnostic, []PrivEntry) {
 			privs:    map[string]bool{},
 			mutates:  map[string]bool{},
 		}
-		fr := &frame{m: m, binding: map[string]bool{}, hc: map[string]string{}}
+		fr := &frame{m: m, binding: map[string]bool{}, hc: map[string]string{}, fns: map[string]fnVal{}}
 		for pn := range m.dom {
 			fr.binding[pn] = true
 		}
@@ -256,11 +276,20 @@ type evalRes struct {
 // method's DomID parameters to whether they carry an entry-point caller;
 // hc maps parameters through which the call site passed a specific
 // xtypes.Hyper* constant (so h.requirePriv(caller, xtypes.HyperX) audits
-// a statically known privilege inside the helper too).
+// a statically known privilege inside the helper too); fns maps local
+// variables bound to function values (literals or method values), so a
+// later f() is analyzed at its call site.
 type frame struct {
 	m       *hvMethod
 	binding map[string]bool
 	hc      map[string]string
+	fns     map[string]fnVal
+}
+
+// fnVal is a function value a local variable is bound to.
+type fnVal struct {
+	lit    *ast.FuncLit // f := func(...){...}
+	method *hvMethod    // f := h.reap
 }
 
 // flow analyzes one entry point.
@@ -323,6 +352,9 @@ func (c *flow) stmt(fr *frame, st *flowState, s ast.Stmt) (*flowState, bool) {
 			for _, spec := range gd.Specs {
 				vs, ok := spec.(*ast.ValueSpec)
 				if !ok {
+					continue
+				}
+				if len(vs.Names) == len(vs.Values) && c.bindFns(fr, vs.Names, vs.Values) {
 					continue
 				}
 				var res *evalRes
@@ -428,8 +460,18 @@ func (c *flow) caseClauses(fr *frame, st *flowState, clauses []ast.Stmt) (*flowS
 }
 
 // assign processes RHS audits/mutations, LHS mutations, and rebinds pending
-// audits to the variables their verdicts were assigned to.
+// audits to the variables their verdicts were assigned to. A function value
+// assigned to a plain local is *bound*, not escaped — its body is analyzed
+// when (and where) the local is invoked.
 func (c *flow) assign(fr *frame, st *flowState, v *ast.AssignStmt) *flowState {
+	if len(v.Lhs) == len(v.Rhs) && c.bindFnsExpr(fr, v.Lhs, v.Rhs) {
+		for _, l := range v.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				delete(st.pending, id.Name)
+			}
+		}
+		return st
+	}
 	var res *evalRes
 	for _, r := range v.Rhs {
 		if rr := c.expr(fr, st, r); rr != nil {
@@ -614,20 +656,108 @@ func (c *flow) expr(fr *frame, st *flowState, e ast.Expr) *evalRes {
 		c.expr(fr, st, v.High)
 		c.expr(fr, st, v.Max)
 	case *ast.SelectorExpr:
+		// A method read as a value (h.reap passed to a registry) escapes:
+		// it runs later, outside the facts established here.
+		if m := c.methodValue(fr, v); m != nil {
+			c.escapedMethod(fr, m)
+			return nil
+		}
 		c.expr(fr, st, v.X)
 	case *ast.TypeAssertExpr:
 		c.expr(fr, st, v.X)
 	case *ast.FuncLit:
-		c.stmts(fr, st.clone(), v.Body.List)
+		// A literal in value position escapes (stored into a field or
+		// registry, passed along, returned).
+		c.escapedLit(fr, v)
+	case *ast.Ident:
+		// A bound function value escaping by name: analyze its target as
+		// deferred, like the direct escape forms above.
+		if fn, ok := fr.fns[v.Name]; ok {
+			if fn.lit != nil {
+				c.escapedLit(fr, fn.lit)
+			} else if fn.method != nil {
+				c.escapedMethod(fr, fn.method)
+			}
+		}
 	}
 	return nil
 }
 
+// methodValue resolves a selector in value position to a *Hypervisor method
+// it names (h.reap without the call), or nil.
+func (c *flow) methodValue(fr *frame, sel *ast.SelectorExpr) *hvMethod {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != fr.m.recv {
+		return nil
+	}
+	return c.methods[sel.Sel.Name]
+}
+
+// bindFns records function-value bindings for a declaration's name/value
+// pairs; true when every pair bound (so the caller skips the normal walk).
+func (c *flow) bindFns(fr *frame, names []*ast.Ident, values []ast.Expr) bool {
+	vals := make([]fnVal, len(values))
+	for i, val := range values {
+		fn, ok := c.fnValue(fr, val)
+		if !ok {
+			return false
+		}
+		vals[i] = fn
+	}
+	for i, n := range names {
+		if n.Name != "_" {
+			fr.fns[n.Name] = vals[i]
+		}
+	}
+	return true
+}
+
+// bindFnsExpr is bindFns for assignment statements.
+func (c *flow) bindFnsExpr(fr *frame, lhs, rhs []ast.Expr) bool {
+	names := make([]*ast.Ident, len(lhs))
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		names[i] = id
+	}
+	return c.bindFns(fr, names, rhs)
+}
+
+// fnValue resolves an expression to a bindable function value.
+func (c *flow) fnValue(fr *frame, e ast.Expr) (fnVal, bool) {
+	switch v := e.(type) {
+	case *ast.FuncLit:
+		return fnVal{lit: v}, true
+	case *ast.SelectorExpr:
+		if m := c.methodValue(fr, v); m != nil {
+			return fnVal{method: m}, true
+		}
+	case *ast.Ident:
+		if fn, ok := fr.fns[v.Name]; ok {
+			return fn, true
+		}
+	}
+	return fnVal{}, false
+}
+
 // call dispatches one call expression: audit primitives, helper methods
-// (inlined), builtin delete, and mutating calls through state objects.
+// (inlined), bound function values and immediately invoked literals
+// (analyzed at the call site), builtin delete, and mutating calls through
+// state objects.
 func (c *flow) call(fr *frame, st *flowState, v *ast.CallExpr) *evalRes {
 	switch fun := v.Fun.(type) {
+	case *ast.FuncLit:
+		// Immediately invoked literal: runs here, under the current facts.
+		return c.inlineLit(fr, st, fun, v.Args)
 	case *ast.Ident:
+		if fn, ok := fr.fns[fun.Name]; ok {
+			if fn.lit != nil {
+				return c.inlineLit(fr, st, fn.lit, v.Args)
+			}
+			return c.inline(fr, st, fn.method, v.Args)
+		}
 		if fun.Name == "delete" && len(v.Args) > 0 {
 			c.lvalue(fr, st, v.Args[0])
 		}
@@ -787,7 +917,7 @@ func (c *flow) inline(fr *frame, st *flowState, m *hvMethod, args []ast.Expr) *e
 	for k, f := range st.facts {
 		sub.facts[k] = f
 	}
-	out, _ := c.stmts(&frame{m: m, binding: binding, hc: hcb}, sub, m.fn.Body.List)
+	out, _ := c.stmts(&frame{m: m, binding: binding, hc: hcb, fns: map[string]fnVal{}}, sub, m.fn.Body.List)
 	var fs []fact
 	for k, f := range out.facts {
 		if _, had := st.facts[k]; !had {
@@ -802,6 +932,121 @@ func (c *flow) inline(fr *frame, st *flowState, m *hvMethod, args []ast.Expr) *e
 		return nil // no error/bool result: the caller cannot enforce it
 	}
 	return &evalRes{facts: fs, boolPol: boolPol}
+}
+
+// inlineLit analyzes a function literal invoked at this program point
+// (immediately invoked, or called through the local it was bound to): its
+// body runs here, so mutations are checked under the caller's current
+// facts. Captured bindings carry over; the literal's own DomID parameters
+// bind to whatever the call site passed.
+func (c *flow) inlineLit(fr *frame, st *flowState, lit *ast.FuncLit, args []ast.Expr) *evalRes {
+	marker := c.litMarker(lit)
+	for _, s := range c.stack {
+		if s == marker || s == "stored "+marker {
+			return nil // self-recursive bound literal: stop
+		}
+	}
+	if len(c.stack) >= 8 {
+		return nil
+	}
+	c.stack = append(c.stack, marker)
+	defer func() { c.stack = c.stack[:len(c.stack)-1] }()
+
+	sub := c.litFrame(fr, lit)
+	i := 0
+	if lit.Type.Params != nil {
+		dom := domIDFields(c.p, fr.m.file, lit.Type.Params)
+		for _, field := range lit.Type.Params.List {
+			for _, pname := range field.Names {
+				if i < len(args) {
+					if dom[pname.Name] {
+						if id, ok := args[i].(*ast.Ident); ok {
+							sub.binding[pname.Name] = fr.binding[id.Name]
+						} else {
+							sub.binding[pname.Name] = false
+						}
+					}
+					if pc := c.hyperConstOrBound(fr, args[i]); pc != "" {
+						sub.hc[pname.Name] = pc
+					}
+				}
+				i++
+			}
+		}
+	}
+	c.stmts(sub, st.clone(), lit.Body.List)
+	return nil
+}
+
+// escapedLit analyzes a function literal that escapes the current flow: it
+// will run at some later, unknown point, so no fact established here
+// dominates its body. Its own DomID parameters are entry-bound — they are
+// the caller identity the callback receives, and an audit inside the
+// closure against them is the legitimate deferred guard.
+func (c *flow) escapedLit(fr *frame, lit *ast.FuncLit) {
+	marker := c.litMarker(lit)
+	for _, s := range c.stack {
+		if s == marker || s == "stored "+marker {
+			return
+		}
+	}
+	if len(c.stack) >= 8 {
+		return
+	}
+	c.stack = append(c.stack, "stored "+marker)
+	defer func() { c.stack = c.stack[:len(c.stack)-1] }()
+
+	sub := c.litFrame(fr, lit)
+	for pn := range domIDFields(c.p, fr.m.file, lit.Type.Params) {
+		sub.binding[pn] = true
+	}
+	c.stmts(sub, newFlowState(), lit.Body.List)
+}
+
+// escapedMethod analyzes a method value that escapes (h.reap handed to a
+// registry): like escapedLit, under empty facts with its own DomID
+// parameters entry-bound.
+func (c *flow) escapedMethod(fr *frame, m *hvMethod) {
+	name := m.fn.Name.Name
+	for _, s := range c.stack {
+		if s == name {
+			return
+		}
+	}
+	if len(c.stack) >= 8 {
+		return
+	}
+	c.stack = append(c.stack, name)
+	defer func() { c.stack = c.stack[:len(c.stack)-1] }()
+
+	binding := map[string]bool{}
+	for pn := range m.dom {
+		binding[pn] = true
+	}
+	c.stmts(&frame{m: m, binding: binding, hc: map[string]string{}, fns: map[string]fnVal{}}, newFlowState(), m.fn.Body.List)
+}
+
+// litFrame builds the activation frame for a function literal: same method
+// context (receiver name, file), captured bindings and function values
+// copied from the enclosing frame.
+func (c *flow) litFrame(fr *frame, lit *ast.FuncLit) *frame {
+	sub := &frame{m: fr.m, binding: map[string]bool{}, hc: map[string]string{}, fns: map[string]fnVal{}}
+	for k, v := range fr.binding {
+		sub.binding[k] = v
+	}
+	for k, v := range fr.hc {
+		sub.hc[k] = v
+	}
+	for k, v := range fr.fns {
+		sub.fns[k] = v
+	}
+	return sub
+}
+
+// litMarker names a literal for the inline stack (recursion guard and the
+// "reached via" chain in diagnostics).
+func (c *flow) litMarker(lit *ast.FuncLit) string {
+	return fmt.Sprintf("func literal (line %d)", c.p.Fset.Position(lit.Pos()).Line)
 }
 
 // resultPolarity classifies a helper's enforceable result: error-last or

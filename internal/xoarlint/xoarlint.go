@@ -218,6 +218,9 @@ func RunAll(pkgs []*Package) []Diagnostic {
 			}
 		}
 	}
+	// Total order down to the message: several diagnostics can share a
+	// position (one mutation reached through different function values), and
+	// output must be byte-stable for drift gates and CI annotation diffs.
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -226,7 +229,13 @@ func RunAll(pkgs []*Package) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

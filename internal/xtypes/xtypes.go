@@ -120,6 +120,19 @@ func (h Hypercall) String() string {
 	return fmt.Sprintf("hypercall(%d)", uint32(h))
 }
 
+// HypercallByName resolves a hypercall's wire name (its String form, e.g.
+// "domctl_create") back to the identifier. This is the decode side of the
+// generated capability manifests: grants are stored by wire name so the
+// artifact survives renumbering.
+func HypercallByName(name string) (Hypercall, bool) {
+	for h, s := range hypercallNames {
+		if s == name {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
 // Privileged reports whether the hypercall requires an explicit whitelist
 // entry. The first eight calls are the default unprivileged set available to
 // all guests (§3.1: "in addition to the default unprivileged ones").

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"xoar/internal/capability"
 	"xoar/internal/xoarlint"
 )
 
@@ -62,4 +63,78 @@ func TestPrivMatrixDrift(t *testing.T) {
 	}
 	t.Errorf("PRIVMATRIX.json is stale — hv's privilege surface changed:\n  %s\nregenerate with: make matrix",
 		strings.Join(diff, "\n  "))
+}
+
+// TestCapManifestDrift pins internal/capability/CAPMANIFEST.json — the
+// per-shard grant sets every boot whitelist is built from — to its
+// derivation (privilege matrix × role declarations × ring classification).
+// A change to hv's audits, the shard roles, or the ring map must regenerate
+// the manifest, surfacing the privilege delta in review.
+func TestCapManifestDrift(t *testing.T) {
+	checked, err := os.ReadFile("internal/capability/CAPMANIFEST.json")
+	if err != nil {
+		t.Fatalf("reading checked-in manifest: %v (regenerate with: make capmanifest)", err)
+	}
+	pkgs, err := xoarlint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	built, err := xoarlint.BuildCapManifest(pkgs)
+	if err != nil {
+		t.Fatalf("building manifest: %v", err)
+	}
+	enc, err := built.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(checked, enc) {
+		return
+	}
+	old, err := capability.DecodeManifest(checked)
+	if err != nil {
+		t.Fatalf("CAPMANIFEST.json does not parse: %v (regenerate with: make capmanifest)", err)
+	}
+	diff := capability.DiffManifests(old, built)
+	if len(diff) == 0 {
+		diff = []string{"(formatting only)"}
+	}
+	t.Errorf("CAPMANIFEST.json is stale — the derived grant sets changed:\n  %s\nregenerate with: make capmanifest",
+		strings.Join(diff, "\n  "))
+}
+
+// TestArtifactDeterminism generates both golden artifacts twice from
+// independent module loads and requires byte identity, so the drift gates
+// above can never flake on map iteration order.
+func TestArtifactDeterminism(t *testing.T) {
+	gen := func() ([]byte, []byte) {
+		pkgs, err := xoarlint.LoadModule(".")
+		if err != nil {
+			t.Fatalf("loading module: %v", err)
+		}
+		m, err := xoarlint.BuildPrivMatrix(pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := m.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := xoarlint.BuildCapManifest(pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := c.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mb, cb
+	}
+	m1, c1 := gen()
+	m2, c2 := gen()
+	if !bytes.Equal(m1, m2) {
+		t.Error("two -matrix generations differ byte-wise")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("two -capmanifest generations differ byte-wise")
+	}
 }
