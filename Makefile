@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint matrix capmanifest check bench bench-diff
+.PHONY: build test race vet fmt lint matrix capmanifest check bench bench-diff fuzz cover
 
 build:
 	$(GO) build ./...
@@ -59,8 +59,32 @@ bench:
 # performance change, refresh the baseline with:
 #   go run ./cmd/benchdiff -baseline BENCH_baseline.json -update bench.out
 bench-diff:
-	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark|BenchmarkDataPath_TxBatching|BenchmarkDataPath_Saturation10G|BenchmarkMicro_RingBatchPop|BenchmarkMicro_SimEventsPerSec|BenchmarkClusterChurn' -benchtime=1x -benchmem . | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark|BenchmarkDataPath_TxBatching|BenchmarkDataPath_Saturation10G|BenchmarkMicro_RingBatchPop|BenchmarkMicro_SimEventsPerSec|BenchmarkClusterChurn|BenchmarkSec_AttackTaxonomy' -benchtime=1x -benchmem . | tee bench.out
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
+
+# fuzz runs the hypercall-sequence fuzzer against the manifest oracle. CI
+# uses the default 60s smoke on every PR and FUZZTIME=10m on the nightly
+# schedule; new failing inputs land in internal/attack/testdata/fuzz/ —
+# minimize them with attack.Minimize and check in the reproducer.
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test -fuzz=FuzzHypercallSequence -fuzztime=$(FUZZTIME) ./internal/attack
+
+# cover measures enforcement-path coverage: how much of internal/hv's
+# statement space the hv unit tests, the seceval probes, and the attack
+# suite actually execute, plus the same view of internal/seceval itself.
+# The floor is just under the merge-time ratio (94.0% when the gate was
+# introduced): falling below it means new privileged surface landed in hv
+# without adversarial tests reaching it.
+HV_COVER_FLOOR ?= 93.0
+cover:
+	$(GO) test -coverprofile=cover_hv.out -coverpkg=./internal/hv ./internal/hv/... ./internal/seceval/... ./internal/attack/...
+	$(GO) test -coverprofile=cover_seceval.out -coverpkg=./internal/seceval ./internal/seceval/... ./internal/attack/...
+	@total=$$($(GO) tool cover -func=cover_hv.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	echo "internal/hv coverage: $$total% (floor: $(HV_COVER_FLOOR)%)"; \
+	if awk -v t="$$total" -v f="$(HV_COVER_FLOOR)" 'BEGIN { exit !(t+0 < f+0) }'; then \
+		echo "internal/hv coverage $$total% is below the $(HV_COVER_FLOOR)% floor"; exit 1; \
+	fi
 
 # check is the tier-1 gate: build + tests, plus vet, gofmt and xoarlint as
 # guards.

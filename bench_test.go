@@ -11,6 +11,7 @@ package xoar
 // cmd/xoarbench runs them at the paper's full scale.
 
 import (
+	"strings"
 	"testing"
 
 	"xoar/internal/boot"
@@ -189,6 +190,33 @@ func BenchmarkSec_Attacks(b *testing.B) {
 		b.ReportMetric(findRow(b, t, "xoar contained").Measured, "contained")
 		b.ReportMetric(findRow(b, t, "xoar whole-host").Measured, "whole-host")
 		b.ReportMetric(findRow(b, t, "dom0 whole-host").Measured, "whole-host-dom0")
+	}
+}
+
+// BenchmarkSec_AttackTaxonomy regenerates the §2.3 attack-taxonomy replay
+// and reports the cross-scenario aggregates the baseline gates: total calls
+// attempted and denied, oracle escalations (pinned at zero), and the summed
+// blast radius with and without the microreboot bound.
+func BenchmarkSec_AttackTaxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AttackTaxonomy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := func(suffix string) float64 {
+			total := 0.0
+			for _, r := range t.Rows {
+				if strings.HasSuffix(r.Label, suffix) {
+					total += r.Measured
+				}
+			}
+			return total
+		}
+		b.ReportMetric(sum(": calls attempted"), "attack-attempted")
+		b.ReportMetric(sum(": calls denied"), "attack-denied")
+		b.ReportMetric(sum(": escalations"), "attack-escalations")
+		b.ReportMetric(sum(": exposed guests (microreboot)"), "exposed-with-mr")
+		b.ReportMetric(sum(": exposed guests (no microreboot)"), "exposed-no-mr")
 	}
 }
 

@@ -2,6 +2,13 @@
 // both platform profiles with two co-located tenants, injects each of the 23
 // guest-sourced registry vulnerabilities, and prints the computed blast
 // radius of every attack plus the TCB accounting.
+//
+// Two further modes drive the adversarial suite directly:
+//
+//	-fuzz N    replay N generated hypercall sequences (seeds 1..N) against
+//	           the manifest oracle, minimizing and printing any finding
+//	-replay    execute the §2.3 attack-taxonomy scenarios and print the
+//	           denial counts and blast radii
 package main
 
 import (
@@ -10,13 +17,24 @@ import (
 	"os"
 
 	"xoar"
+	"xoar/internal/attack"
+	"xoar/internal/experiments"
 	"xoar/internal/seceval"
 )
 
 func main() {
 	profileName := flag.String("profile", "both", "profile to audit: xoar, dom0, or both")
 	dot := flag.Bool("dot", false, "also print the shard dependency graph in Graphviz format")
+	fuzzN := flag.Int("fuzz", 0, "replay this many generated hypercall sequences (seeds 1..N) and exit")
+	replay := flag.Bool("replay", false, "run the attack-taxonomy scenarios and exit")
 	flag.Parse()
+
+	if *fuzzN > 0 {
+		os.Exit(runFuzz(*fuzzN))
+	}
+	if *replay {
+		os.Exit(runReplay())
+	}
 
 	profiles := []xoar.Profile{xoar.XoarShards, xoar.MonolithicDom0}
 	switch *profileName {
@@ -112,6 +130,69 @@ func main() {
 	}
 	fmt.Printf("total studied: %d; guest-sourced: %d; admin-network: %d; host-os (excluded): %d\n",
 		len(seceval.Registry()), bySrc[seceval.SrcGuest], bySrc[seceval.SrcAdminNet], bySrc[seceval.SrcHost])
+}
+
+// runFuzz is the CLI face of the seeded generator: the same sequences the
+// Go fuzzer starts from, replayed one seed at a time with findings
+// minimized to a checked-in-able reproducer.
+func runFuzz(n int) int {
+	bad := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seq := attack.Generate(seed)
+		res, err := attack.RunSequence(seq)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seed %-4d persona=%-9v calls=%-2d attempted=%-2d denied=%-2d findings=%d\n",
+			seed, seq.Persona, len(seq.Calls), res.Attempted, res.Denied, len(res.Findings))
+		if len(res.Findings) == 0 {
+			continue
+		}
+		bad++
+		for _, f := range res.Findings {
+			fmt.Printf("  FINDING %v\n", f)
+		}
+		min, err := attack.Minimize(seq)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  minimized reproducer (%d calls, add to testdata/fuzz): %q\n",
+			len(min.Calls), min.Encode())
+	}
+	if bad > 0 {
+		fmt.Printf("\n%d of %d sequences produced findings\n", bad, n)
+		return 1
+	}
+	fmt.Printf("\nall %d sequences clean\n", n)
+	return 0
+}
+
+// runReplay prints the §2.3 taxonomy artifact — the same table the drift
+// test and the benchmark gate pin.
+func runReplay() int {
+	tbl, err := experiments.AttackTaxonomy()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=== %s ===\n%s\n\n", tbl.ID, tbl.Title)
+	for _, r := range tbl.Rows {
+		fmt.Printf("  %-55s %6g %s\n", r.Label, r.Measured, r.Unit)
+	}
+	fmt.Println()
+	for _, n := range tbl.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	escal := 0.0
+	for _, r := range tbl.Rows {
+		if len(r.Label) > 13 && r.Label[len(r.Label)-13:] == ": escalations" {
+			escal += r.Measured
+		}
+	}
+	if escal > 0 {
+		fmt.Printf("\n%g escalations — the manifest oracle found uncovered successes\n", escal)
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

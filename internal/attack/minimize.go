@@ -1,0 +1,46 @@
+package attack
+
+// Minimize greedily shrinks a failing sequence: it tries removing each call
+// in turn (re-running the remainder on a fresh harness) and keeps the removal
+// whenever any finding survives. The result is the reproducer that gets
+// checked into testdata/fuzz/ — small enough to read, still failing.
+//
+// Each probe boots a full platform, so minimization is the expensive path;
+// it only runs when the fuzzer has already found a counterexample.
+func Minimize(seq Sequence) (Sequence, error) {
+	fails := func(s Sequence) (bool, error) {
+		res, err := RunSequence(s)
+		if err != nil {
+			return false, err
+		}
+		return len(res.Findings) > 0, nil
+	}
+	bad, err := fails(seq)
+	if err != nil || !bad {
+		return seq, err
+	}
+	cur := seq
+	for {
+		shrunk := false
+		for i := 0; i < len(cur.Calls); i++ {
+			cand := Sequence{Persona: cur.Persona}
+			cand.Calls = append(cand.Calls, cur.Calls[:i]...)
+			cand.Calls = append(cand.Calls, cur.Calls[i+1:]...)
+			if len(cand.Calls) == 0 {
+				continue
+			}
+			bad, err := fails(cand)
+			if err != nil {
+				return cur, err
+			}
+			if bad {
+				cur = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return cur, nil
+		}
+	}
+}

@@ -157,8 +157,9 @@ var Roles = []Role{
 		Doc:  "the single fully-privileged component left after boot (§6.2): builds, scrubs and microreboots domains",
 		Ops: []string{
 			"AssignPrivileges", "CreateDomain", "Delegate", "DestroyDomain",
-			"GrantIOPorts", "MapForeign", "Pause", "SetMaxMem",
-			"SetParentTool", "Unpause", "VMRollback", "VMSnapshot",
+			"GrantIOPorts", "MapForeign", "Pause", "RevokeHypercall",
+			"SetMaxMem", "SetParentTool", "Unpause", "VMRollback",
+			"VMSnapshot",
 		},
 		NonHV: []GrantRationale{nonHVAssignDevice, nonHVRestartPolicy},
 	},

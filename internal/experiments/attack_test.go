@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+// TestAttackTaxonomyDrift pins the full attack-taxonomy artifact. The sim is
+// deterministic, so every count is exact: a drifting number means either a
+// scenario changed, a whitelist loosened (denials drop), a hole opened
+// (escalations rise), or the microreboot stopped bounding the compromise
+// window. Regenerate the expectations only after auditing the cause.
+func TestAttackTaxonomyDrift(t *testing.T) {
+	tbl, err := AttackTaxonomy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"netback-compromise: calls attempted":                     7,
+		"netback-compromise: calls denied":                        5,
+		"netback-compromise: escalations":                         0,
+		"netback-compromise: exposed guests (microreboot)":        3,
+		"netback-compromise: exposed guests (no microreboot)":     4,
+		"blkback-compromise: calls attempted":                     6,
+		"blkback-compromise: calls denied":                        3,
+		"blkback-compromise: escalations":                         0,
+		"blkback-compromise: exposed guests (microreboot)":        3,
+		"blkback-compromise: exposed guests (no microreboot)":     4,
+		"toolstack-compromise: calls attempted":                   8,
+		"toolstack-compromise: calls denied":                      5,
+		"toolstack-compromise: escalations":                       0,
+		"toolstack-compromise: exposed guests (microreboot)":      0,
+		"toolstack-compromise: exposed guests (no microreboot)":   0,
+		"guest-management-probe: calls attempted":                 7,
+		"guest-management-probe: calls denied":                    7,
+		"guest-management-probe: escalations":                     0,
+		"guest-management-probe: exposed guests (microreboot)":    3,
+		"guest-management-probe: exposed guests (no microreboot)": 4,
+		"guest-ivc-sweep: calls attempted":                        6,
+		"guest-ivc-sweep: calls denied":                           5,
+		"guest-ivc-sweep: escalations":                            0,
+		"guest-ivc-sweep: exposed guests (microreboot)":           3,
+		"guest-ivc-sweep: exposed guests (no microreboot)":        4,
+		"xenstore-poison: calls attempted":                        4,
+		"xenstore-poison: calls denied":                           3,
+		"xenstore-poison: escalations":                            0,
+		"xenstore-poison: exposed guests (microreboot)":           3,
+		"xenstore-poison: exposed guests (no microreboot)":        4,
+		"debug-interface: calls attempted":                        4,
+		"debug-interface: calls denied":                           4,
+		"debug-interface: escalations":                            0,
+		"debug-interface: exposed guests (microreboot)":           0,
+		"debug-interface: exposed guests (no microreboot)":        0,
+		"rollback-replay: calls attempted":                        5,
+		"rollback-replay: calls denied":                           0,
+		"rollback-replay: escalations":                            0,
+		"rollback-replay: exposed guests (microreboot)":           3,
+		"rollback-replay: exposed guests (no microreboot)":        4,
+	}
+	got := make(map[string]float64, len(tbl.Rows))
+	for _, r := range tbl.Rows {
+		got[r.Label] = r.Measured
+	}
+	for label, w := range want {
+		v, ok := got[label]
+		if !ok {
+			t.Errorf("row %q missing from %s", label, tbl.ID)
+			continue
+		}
+		if v != w {
+			t.Errorf("%s = %g, want %g", label, v, w)
+		}
+	}
+	if len(tbl.Rows) != len(want) {
+		t.Errorf("table has %d rows, want %d — new scenarios must be added to the drift gate", len(tbl.Rows), len(want))
+	}
+	// Every scenario with a restartable shard must demonstrate the shrink:
+	// the microreboot window strictly excludes the late tenant.
+	for _, name := range []string{"netback-compromise", "blkback-compromise", "guest-ivc-sweep", "rollback-replay"} {
+		mr := got[name+": exposed guests (microreboot)"]
+		no := got[name+": exposed guests (no microreboot)"]
+		if mr >= no {
+			t.Errorf("%s: microreboot did not shrink exposure (%g vs %g)", name, mr, no)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package hv
 
 import (
+	"errors"
 	"fmt"
 
 	"xoar/internal/grant"
@@ -36,6 +37,7 @@ func (h *Hypervisor) AssignPrivileges(caller, target xtypes.DomID, a Assignment)
 	// shard concept and Dom0 takes everything.
 	needsPriv := a.ControlAll || len(a.Hypercalls) > 0 || len(a.PCIDevices) > 0 || len(a.DelegateTo) > 0
 	if h.EnforceShardIVC && needsPriv && !d.Cfg.Shard {
+		h.DeniedCalls++
 		return fmt.Errorf("hv: privileges for non-shard %v(%s): %w", target, d.Name, xtypes.ErrNotShard)
 	}
 	for _, addr := range a.PCIDevices {
@@ -78,6 +80,7 @@ func (h *Hypervisor) Delegate(caller, shard, grantee xtypes.DomID) error {
 		return fmt.Errorf("hv: delegate %v by %v: %w", shard, caller, xtypes.ErrPerm)
 	}
 	if !d.Cfg.Shard {
+		h.DeniedCalls++
 		return fmt.Errorf("hv: delegate non-shard %v: %w", shard, xtypes.ErrNotShard)
 	}
 	d.delegates[grantee] = true
@@ -130,7 +133,19 @@ func (h *Hypervisor) LinkShardClient(caller, shard, guest xtypes.DomID) error {
 		return err
 	}
 	if h.EnforceShardIVC && !d.Cfg.Shard {
+		h.DeniedCalls++
 		return fmt.Errorf("hv: link client to non-shard %v: %w", shard, xtypes.ErrNotShard)
+	}
+	// A shard may not curate its own client list: controls() counts every
+	// domain as controlling itself, but link rights belong to an external
+	// controller (the parent toolstack, or a delegate). Without this check a
+	// compromised shard could link any guest to itself and then pass the IVC
+	// policy for grant/evtchn setup against that guest — found by the
+	// hypercall-sequence fuzzer. Only meaningful under the Xoar IVC policy:
+	// monolithic Dom0 is both toolstack and backend and links to itself.
+	if h.EnforceShardIVC && caller == shard && caller != SystemCaller {
+		h.DeniedCalls++
+		return fmt.Errorf("hv: link %v->%v by the shard itself: %w", guest, shard, xtypes.ErrPerm)
 	}
 	if !h.controls(caller, d) {
 		h.DeniedCalls++
@@ -146,6 +161,22 @@ func (h *Hypervisor) UnlinkShardClient(caller, shard, guest xtypes.DomID) error 
 	d, err := h.Domain(shard)
 	if err != nil {
 		return err
+	}
+	// Mirror LinkShardClient's shard requirement: unlinking a non-shard is
+	// meaningless, but it used to succeed as a no-op and emit a bogus
+	// unlink-shard audit record against a plain guest — noise that corrupts
+	// DependentsOf interval bookkeeping (found by the hypercall-sequence
+	// fuzzer).
+	if h.EnforceShardIVC && !d.Cfg.Shard {
+		h.DeniedCalls++
+		return fmt.Errorf("hv: unlink client from non-shard %v: %w", shard, xtypes.ErrNotShard)
+	}
+	// Same self-control exclusion as LinkShardClient: a compromised shard
+	// unlinking its own clients would close their audit exposure windows,
+	// hiding the compromise interval from DependentsOf.
+	if h.EnforceShardIVC && caller == shard && caller != SystemCaller {
+		h.DeniedCalls++
+		return fmt.Errorf("hv: unlink %v->%v by the shard itself: %w", guest, shard, xtypes.ErrPerm)
 	}
 	if !h.controls(caller, d) {
 		h.DeniedCalls++
@@ -185,15 +216,55 @@ func (h *Hypervisor) ivcAllowed(a, b xtypes.DomID) error {
 		return nil
 	}
 	if !da.Cfg.Shard && !db.Cfg.Shard {
+		// Guest↔guest probes are denials too: leaving them uncounted let an
+		// adversarial guest sweep the IVC surface without a trace in the
+		// denial counter (found by the hypercall-sequence fuzzer).
+		h.DeniedCalls++
 		return fmt.Errorf("hv: ivc %v<->%v between non-shards: %w", a, b, xtypes.ErrNotShard)
 	}
 	h.DeniedCalls++
 	return fmt.Errorf("hv: ivc %v<->%v: %w", a, b, xtypes.ErrNotDelegated)
 }
 
+// RevokeHypercall removes a previously permitted hypercall from target's
+// whitelist — the runtime counterpart of permit_hypercall, used when an
+// operator narrows a shard's capabilities below what its manifest role
+// grants. Requires HyperDomctlPriv and control over the target. Revocation
+// wins over the manifest: the whitelist consulted at dispatch time is the
+// domain's live privilege set, not the generated artifact.
+func (h *Hypervisor) RevokeHypercall(caller, target xtypes.DomID, hc xtypes.Hypercall) error {
+	if _, err := h.check(caller, xtypes.HyperDomctlPriv); err != nil {
+		return err
+	}
+	d, err := h.Domain(target)
+	if err != nil {
+		return err
+	}
+	if !h.controls(caller, d) {
+		h.DeniedCalls++
+		return fmt.Errorf("hv: revoke %v from %v by %v: %w", hc, target, caller, xtypes.ErrPerm)
+	}
+	delete(d.priv.Hypercalls, hc)
+	h.emit("revoke-hypercall", target, hc.String())
+	return nil
+}
+
 // --- guarded grant operations ---------------------------------------------
 
 // Grant exports one of caller's pages to grantee, subject to the IVC policy.
+// countDenied mirrors a subsystem's object-level refusal (mapping someone
+// else's grant ref, binding a port reserved for another domain) into the
+// hypervisor's denial counter. Before this, such probes were invisible to
+// DeniedCalls — an attacker could sweep the grant table and event-channel
+// space without a trace in the denial metric (found by the
+// hypercall-sequence fuzzer).
+func (h *Hypervisor) countDenied(err error) error {
+	if err != nil && errors.Is(err, xtypes.ErrPerm) {
+		h.DeniedCalls++
+	}
+	return err
+}
+
 func (h *Hypervisor) Grant(caller, grantee xtypes.DomID, pfn xtypes.PFN, readOnly bool) (xtypes.GrantRef, error) {
 	if _, err := h.check(caller, xtypes.HyperGrantTableOp); err != nil {
 		return xtypes.GrantRefInvalid, err
@@ -201,7 +272,8 @@ func (h *Hypervisor) Grant(caller, grantee xtypes.DomID, pfn xtypes.PFN, readOnl
 	if err := h.ivcAllowed(caller, grantee); err != nil {
 		return xtypes.GrantRefInvalid, err
 	}
-	return h.Grants.Grant(caller, grantee, pfn, readOnly)
+	ref, err := h.Grants.Grant(caller, grantee, pfn, readOnly)
+	return ref, h.countDenied(err)
 }
 
 // GrantFor creates a grant on behalf of owner — the Builder's extra VM-build
@@ -224,7 +296,7 @@ func (h *Hypervisor) MapGrant(caller, owner xtypes.DomID, ref xtypes.GrantRef, w
 	}
 	m, err := h.Grants.Map(caller, owner, ref, write)
 	if err != nil {
-		return nil, err
+		return nil, h.countDenied(err)
 	}
 	if err := h.MM.MapForeign(caller, owner, m.Entry().PFN); err != nil {
 		m.Unmap()
@@ -263,7 +335,8 @@ func (h *Hypervisor) EvtchnAllocUnbound(caller, remote xtypes.DomID) (xtypes.Por
 	if err := h.ivcAllowed(caller, remote); err != nil {
 		return xtypes.PortInvalid, err
 	}
-	return h.Evtchn.AllocUnbound(caller, remote)
+	port, err := h.Evtchn.AllocUnbound(caller, remote)
+	return port, h.countDenied(err)
 }
 
 // EvtchnBind binds to a remote unbound port, subject to the IVC policy.
@@ -274,7 +347,8 @@ func (h *Hypervisor) EvtchnBind(caller, remoteDom xtypes.DomID, remotePort xtype
 	if err := h.ivcAllowed(caller, remoteDom); err != nil {
 		return xtypes.PortInvalid, err
 	}
-	return h.Evtchn.BindInterdomain(caller, remoteDom, remotePort)
+	port, err := h.Evtchn.BindInterdomain(caller, remoteDom, remotePort)
+	return port, h.countDenied(err)
 }
 
 // EvtchnNotify signals through a bound port.
@@ -282,7 +356,7 @@ func (h *Hypervisor) EvtchnNotify(caller xtypes.DomID, port xtypes.Port) error {
 	if _, err := h.check(caller, xtypes.HyperEvtchnOp); err != nil {
 		return err
 	}
-	return h.Evtchn.Notify(caller, port)
+	return h.countDenied(h.Evtchn.Notify(caller, port))
 }
 
 // --- foreign mapping ---------------------------------------------------------
@@ -383,6 +457,15 @@ func (h *Hypervisor) VMSnapshot(caller xtypes.DomID) error {
 	}
 	if _, err := h.check(caller, xtypes.HyperVMSnapshot); err != nil {
 		return err
+	}
+	// Snapshots are write-once: §3.3 takes them once, after initialization
+	// and before the component serves external requests. Allowing
+	// replacement would let a compromised component re-snapshot its
+	// corrupted image, after which every microreboot faithfully restores
+	// the compromise — found by the hypercall-sequence fuzzer.
+	if d.Mem.Snapshot() != nil {
+		h.DeniedCalls++
+		return fmt.Errorf("hv: re-snapshot of %v(%s): %w", caller, d.Name, xtypes.ErrPerm)
 	}
 	d.Mem.TakeSnapshot()
 	h.emit("snapshot", caller, fmt.Sprintf("%d pages", d.Mem.Snapshot().Pages()))
