@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint matrix capmanifest check bench bench-diff fuzz cover
+.PHONY: build test race vet fmt lint matrix capmanifest hotpath check bench bench-diff fuzz cover
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ capmanifest:
 	$(GO) run ./cmd/xoarlint -capmanifest > internal/capability/CAPMANIFEST.json.tmp
 	mv internal/capability/CAPMANIFEST.json.tmp internal/capability/CAPMANIFEST.json
 
+# hotpath regenerates HOTPATH.json, the hot-path allocation artifact the
+# hotpath analyzer derives from //xoarlint:hot annotations: per-root
+# reachable functions plus the declared allocs/op budget. TestHotPathDrift
+# fails until a data-path change is reflected here, and bench-diff
+# cross-checks the budgets against measured -benchmem allocs/op.
+hotpath:
+	$(GO) run ./cmd/xoarlint -hotpath > HOTPATH.json
+
 # race runs the full suite under the race detector (the telemetry layer is
 # exercised from parallel goroutines in its tests).
 race:
@@ -59,8 +67,8 @@ bench:
 # performance change, refresh the baseline with:
 #   go run ./cmd/benchdiff -baseline BENCH_baseline.json -update bench.out
 bench-diff:
-	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark|BenchmarkDataPath_TxBatching|BenchmarkDataPath_Saturation10G|BenchmarkMicro_RingBatchPop|BenchmarkMicro_SimEventsPerSec|BenchmarkClusterChurn|BenchmarkSec_AttackTaxonomy' -benchtime=1x -benchmem . | tee bench.out
-	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkBootPipeline|BenchmarkTable61_Memory|BenchmarkTable62_Boot|BenchmarkFig61_Postmark|BenchmarkDataPath_TxBatching|BenchmarkDataPath_Saturation10G|BenchmarkMicro_GrantMap|BenchmarkMicro_XenStoreWrite|BenchmarkMicro_RingBatchPop|BenchmarkMicro_SimEventsPerSec|BenchmarkClusterChurn|BenchmarkSec_AttackTaxonomy' -benchtime=1x -benchmem . | tee bench.out
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -hotpath HOTPATH.json bench.out
 
 # fuzz runs the hypercall-sequence fuzzer against the manifest oracle. CI
 # uses the default 60s smoke on every PR and FUZZTIME=10m on the nightly

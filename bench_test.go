@@ -334,6 +334,9 @@ func BenchmarkAblation_SerializedBoot(b *testing.B) {
 }
 
 // BenchmarkMicro_GrantMap measures the grant-table map/unmap fast path.
+// Steady-state allocs/op is gated exactly in BENCH_baseline.json; the
+// warm-up loop gets first-use map growth out of the timed region so the
+// gate holds at -benchtime=1x.
 func BenchmarkMicro_GrantMap(b *testing.B) {
 	env := sim.NewEnv(1)
 	h := hv.New(env, hw.NewMachine(env))
@@ -345,6 +348,14 @@ func BenchmarkMicro_GrantMap(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	for i := 0; i < 64; i++ {
+		m, err := h.MapGrant(shard.ID, g.ID, ref, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Unmap()
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := h.MapGrant(shard.ID, g.ID, ref, false)
@@ -356,12 +367,21 @@ func BenchmarkMicro_GrantMap(b *testing.B) {
 }
 
 // BenchmarkMicro_XenStoreWrite measures the XenStore write path including
-// watch fan-out.
+// watch fan-out. Steady-state allocs/op is gated exactly in
+// BENCH_baseline.json; the warm-up loop creates the node and grows the
+// event queue before the timed region so the gate holds at -benchtime=1x.
 func BenchmarkMicro_XenStoreWrite(b *testing.B) {
 	env := sim.NewEnv(1)
 	logic := xenstore.NewLogic(env, xenstore.NewState())
 	c := logic.Connect(0, true)
 	c.Watch("/bench", "tok")
+	for i := 0; i < 64; i++ {
+		if err := c.Write(xenstore.TxNone, "/bench/key", "v"); err != nil {
+			b.Fatal(err)
+		}
+		c.Events.TryRecv()
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Write(xenstore.TxNone, "/bench/key", "v"); err != nil {

@@ -9,7 +9,11 @@
 //	benchdiff -baseline BENCH_baseline.json -update bench.out   # refresh values
 //
 // Only custom metrics (b.ReportMetric units) are gated — ns/op depends on
-// host load and is deliberately ignored.
+// host load and is deliberately ignored. The exception is allocs/op (exact
+// under -benchmem): with -hotpath HOTPATH.json, every hot root that declares
+// a bench= binding must measure exactly its static allocs/op budget, in both
+// directions — a measured alloc the analyzer missed is an analyzer gap, and
+// a static budget above the measurement is stale slack. Either one fails.
 package main
 
 import (
@@ -22,6 +26,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"xoar/internal/xoarlint"
 )
 
 // MetricGate is one gated metric of one benchmark.
@@ -125,9 +131,58 @@ func check(g MetricGate, got, defaultTol float64) string {
 	return ""
 }
 
+// checkHotPath cross-checks the static allocs/op budgets in the hot-path
+// artifact against the measured -benchmem allocs/op of each root's declared
+// benchmark. Exact equality is required in both directions; a root whose
+// bench metric is absent from the run fails (the gate must not silently
+// vanish with the benchmark). Returns the number of failures.
+func checkHotPath(path string, results map[string]map[string]float64) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 1
+	}
+	hp, err := xoarlint.DecodeHotPath(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 1
+	}
+	failures := 0
+	checked := 0
+	for _, root := range hp.Roots {
+		if root.Bench == "" {
+			continue
+		}
+		checked++
+		got, ok := results[root.Bench]["allocs/op"]
+		if !ok {
+			fmt.Printf("FAIL hotpath %s: %s reported no allocs/op (run with -benchmem)\n", root.Root, root.Bench)
+			failures++
+			continue
+		}
+		if got != float64(root.AllocsPerOp) {
+			dir := "static analysis missed an allocation"
+			if got < float64(root.AllocsPerOp) {
+				dir = "static budget is stale slack"
+			}
+			fmt.Printf("FAIL hotpath %s: %s measured %g allocs/op, static budget %d (%s)\n",
+				root.Root, root.Bench, got, root.AllocsPerOp, dir)
+			failures++
+			continue
+		}
+		fmt.Printf("  ok hotpath %s: %s allocs/op = %d (measured == static)\n", root.Root, root.Bench, root.AllocsPerOp)
+	}
+	if checked == 0 {
+		fmt.Printf("FAIL hotpath: no root in %s declares a bench binding\n", path)
+		failures++
+	}
+	return failures
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline gate file")
 	update := flag.Bool("update", false, "rewrite the baseline's values from this run instead of gating")
+	hotpathPath := flag.String("hotpath", "", "hot-path artifact (HOTPATH.json); cross-check static allocs/op budgets against measured -benchmem values")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -189,6 +244,10 @@ func main() {
 		} else {
 			fmt.Printf("  ok %s %s: %.6g (baseline %.6g, worse=%s)\n", g.Bench, g.Metric, got, g.Value, g.Worse)
 		}
+	}
+
+	if *hotpathPath != "" && !*update {
+		failures += checkHotPath(*hotpathPath, results)
 	}
 
 	if *update {

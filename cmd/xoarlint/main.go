@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	xoarlint [-list] [-json | -sarif | -github] [-matrix | -capmanifest | -surface] [./... | dir ...]
+//	xoarlint [-list] [-json | -sarif | -github] [-matrix | -capmanifest | -surface | -hotpath] [./... | dir ...]
 //
 // With no arguments (or "./..."), the whole module containing the current
 // directory is analyzed. Diagnostics print as text by default; -json emits
@@ -14,7 +14,9 @@
 // internal/hv (the PRIVMATRIX.json golden artifact) to stdout. -capmanifest
 // likewise prints the per-shard capability manifest derived from that matrix
 // (the internal/capability/CAPMANIFEST.json golden artifact), and -surface
-// prints its human-readable attack-surface report.
+// prints its human-readable attack-surface report. -hotpath prints the
+// hot-path allocation artifact built from //xoarlint:hot annotations (the
+// HOTPATH.json golden artifact).
 //
 // Exit status: 0 clean, 1 violations, 2 load failure.
 package main
@@ -35,8 +37,9 @@ func main() {
 	matrix := flag.Bool("matrix", false, "print the internal/hv privilege matrix (PRIVMATRIX.json) and exit")
 	capmanifest := flag.Bool("capmanifest", false, "print the per-shard capability manifest (CAPMANIFEST.json) and exit")
 	surface := flag.Bool("surface", false, "print the per-shard attack-surface report and exit")
+	hotpath := flag.Bool("hotpath", false, "print the hot-path allocation artifact (HOTPATH.json) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: xoarlint [-list] [-json | -sarif | -github] [-matrix | -capmanifest | -surface] [./... | dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: xoarlint [-list] [-json | -sarif | -github] [-matrix | -capmanifest | -surface | -hotpath] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,8 +54,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xoarlint: -json, -sarif and -github are mutually exclusive")
 		os.Exit(2)
 	}
-	if countTrue(*matrix, *capmanifest, *surface) > 1 {
-		fmt.Fprintln(os.Stderr, "xoarlint: -matrix, -capmanifest and -surface are mutually exclusive")
+	if countTrue(*matrix, *capmanifest, *surface, *hotpath) > 1 {
+		fmt.Fprintln(os.Stderr, "xoarlint: -matrix, -capmanifest, -surface and -hotpath are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -108,6 +111,11 @@ func main() {
 			os.Exit(2)
 		}
 		os.Stdout.Write(b)
+		return
+	}
+
+	if *hotpath {
+		os.Stdout.Write(xoarlint.BuildHotPath(pkgs).EncodeJSON())
 		return
 	}
 

@@ -366,47 +366,55 @@ func (b *Backend) startWorker(v *vbd) {
 	for _, q := range v.queues {
 		q := q
 		q.proc = b.H.Env.Spawn(fmt.Sprintf("blkback-%v-q%d", v.guest, q.id), func(p *sim.Proc) {
-			buf := make([]Req, ring.DefaultSlots)
-			var prev ring.Stats
-			for {
-				n, err := q.ring.PopRequestBatch(p, buf)
-				if err != nil {
-					return // broken: restart or teardown
-				}
-				start := p.Now()
-				b.H.Compute(p, b.Dom, perBatchCPU+sim.Duration(n)*perDescCPU)
-				b.batchSize.Observe(float64(n))
-				for i := 0; i < n; i++ {
-					req := buf[i]
-					seq := req.Sequential
-					if seq && b.CoLocated && b.H.Env.Rand().Float64() < coLocationJitter {
-						seq = false
-					}
-					switch req.Op {
-					case OpRead:
-						b.Disk.Read(p, req.Bytes, seq)
-					case OpWrite:
-						b.Disk.Write(p, req.Bytes, seq)
-					case OpFlush:
-						b.Disk.Write(p, 0, false) // barrier: a seek-priced no-op
-					}
-					if q.ring.Broken() {
-						return
-					}
-					q.ring.PushResponse(Resp{ID: req.ID})
-					b.CompletedReqs++
-					if int(req.Op) < len(b.rtt) {
-						b.rtt[req.Op].Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
-					}
-				}
-				cur := q.ring.Stats()
-				b.notifySentReq.Add(cur.NotifiesToBack - prev.NotifiesToBack)
-				b.supReq.Add(cur.SuppressedToBack - prev.SuppressedToBack)
-				b.notifySentRsp.Add(cur.NotifiesToFront - prev.NotifiesToFront)
-				b.supRsp.Add(cur.SuppressedToFront - prev.SuppressedToFront)
-				prev = cur
-			}
+			b.runWorker(q, p, make([]Req, ring.DefaultSlots))
 		})
+	}
+}
+
+// runWorker is one queue's request-service loop — the BlkBack data path.
+// The descriptor buffer is allocated by startWorker once per worker
+// lifetime; the loop itself must stay allocation-free.
+//
+//xoarlint:hot
+func (b *Backend) runWorker(q *vbdQueue, p *sim.Proc, buf []Req) {
+	var prev ring.Stats
+	for {
+		n, err := q.ring.PopRequestBatch(p, buf)
+		if err != nil {
+			return // broken: restart or teardown
+		}
+		start := p.Now()
+		b.H.Compute(p, b.Dom, perBatchCPU+sim.Duration(n)*perDescCPU)
+		b.batchSize.Observe(float64(n))
+		for i := 0; i < n; i++ {
+			req := buf[i]
+			seq := req.Sequential
+			if seq && b.CoLocated && b.H.Env.Rand().Float64() < coLocationJitter {
+				seq = false
+			}
+			switch req.Op {
+			case OpRead:
+				b.Disk.Read(p, req.Bytes, seq)
+			case OpWrite:
+				b.Disk.Write(p, req.Bytes, seq)
+			case OpFlush:
+				b.Disk.Write(p, 0, false) // barrier: a seek-priced no-op
+			}
+			if q.ring.Broken() {
+				return
+			}
+			q.ring.PushResponse(Resp{ID: req.ID})
+			b.CompletedReqs++
+			if int(req.Op) < len(b.rtt) {
+				b.rtt[req.Op].Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
+			}
+		}
+		cur := q.ring.Stats()
+		b.notifySentReq.Add(cur.NotifiesToBack - prev.NotifiesToBack)
+		b.supReq.Add(cur.SuppressedToBack - prev.SuppressedToBack)
+		b.notifySentRsp.Add(cur.NotifiesToFront - prev.NotifiesToFront)
+		b.supRsp.Add(cur.SuppressedToFront - prev.SuppressedToFront)
+		prev = cur
 	}
 }
 

@@ -388,104 +388,121 @@ func (b *Backend) RemoveVif(guest xtypes.DomID) {
 	b.XS.Rm(xenstore.TxNone, b.vifPath(guest))
 }
 
-// startPumps spawns the per-queue forwarding processes.
+// startPumps spawns the per-queue forwarding processes. The descriptor
+// buffers are allocated here, once per pump lifetime; the loops themselves
+// (runRxPump/runTxPump) are declared hot and stay allocation-free.
 func (b *Backend) startPumps(v *vif) {
 	for _, q := range v.queues {
 		q := q
 		// rxPump: wire inbox -> rx ring, a burst per wakeup.
 		q.rxPump = b.H.Env.Spawn(fmt.Sprintf("netback-rx-%v-q%d", v.guest, q.id), func(p *sim.Proc) {
-			buf := make([]Packet, ring.DefaultSlots)
-			for {
-				pkt, ok := q.inbox.Recv(p)
-				if !ok {
-					return
-				}
-				// Drain whatever else the wire delivered while we slept:
-				// the whole burst is serviced under one batch charge.
-				buf[0] = pkt
-				n := 1
-				for n < len(buf) {
-					more, ok := q.inbox.TryRecv()
-					if !ok {
-						break
-					}
-					buf[n] = more
-					n++
-				}
-				start := p.Now()
-				// Reap pending acks to free rx slots.
-				for {
-					if _, ok := q.rx.TryPopResponse(); !ok {
-						break
-					}
-				}
-				b.H.Compute(p, b.Dom, perBatchCPU+sim.Duration(n)*perDescCPU)
-				before := q.rx.Stats()
-				pushed := 0
-				for pushed < n {
-					k := q.rx.TryPushRequestBatch(buf[pushed:n])
-					pushed += k
-					if pushed == n {
-						break
-					}
-					if k == 0 {
-						// Ring full: the free slots are held by unconsumed
-						// acks, so block on the next ack rather than raw
-						// space.
-						if _, err := q.rx.PopResponse(p); err != nil {
-							// Ring broken mid-batch (restart): the in-hand
-							// descriptor is the counted drop; the rest of
-							// the burst is accounted like inbox residue
-							// drained by Restart.
-							b.DroppedPackets++
-							return
-						}
-					}
-				}
-				after := q.rx.Stats()
-				b.notifySentRx.Add(after.NotifiesToBack - before.NotifiesToBack)
-				b.notifySupRx.Add(after.SuppressedToBack - before.SuppressedToBack)
-				b.batchRx.Observe(float64(n))
-				v.rxSig.Broadcast()
-				b.ForwardedRx += int64(n)
-				b.rttRx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
-				// The ring's notify hook models the event-channel signal; the
-				// hypercall itself is charged above.
-			}
+			b.runRxPump(v, q, p, make([]Packet, ring.DefaultSlots))
 		})
 		// txPump: tx ring -> wire, draining the ring per wakeup.
 		q.txPump = b.H.Env.Spawn(fmt.Sprintf("netback-tx-%v-q%d", v.guest, q.id), func(p *sim.Proc) {
-			buf := make([]Packet, ring.DefaultSlots)
-			acks := make([]ack, ring.DefaultSlots)
-			var prev ring.Stats
-			for {
-				n, err := q.tx.PopRequestBatch(p, buf)
-				if err != nil {
-					return // broken
-				}
-				start := p.Now()
-				b.H.Compute(p, b.Dom, perBatchCPU+sim.Duration(n)*perDescCPU)
-				for i := 0; i < n; i++ {
-					b.NIC.Transmit(p, buf[i].Bytes)
-				}
-				if q.tx.Broken() {
+			b.runTxPump(v, q, p, make([]Packet, ring.DefaultSlots), make([]ack, ring.DefaultSlots))
+		})
+	}
+}
+
+// runRxPump forwards wire-delivered packets from the queue's inbox onto the
+// guest-facing rx ring, a burst per wakeup. This is the NetBack receive data
+// path: steady state must not allocate.
+//
+//xoarlint:hot
+func (b *Backend) runRxPump(v *vif, q *vifQueue, p *sim.Proc, buf []Packet) {
+	for {
+		pkt, ok := q.inbox.Recv(p)
+		if !ok {
+			return
+		}
+		// Drain whatever else the wire delivered while we slept:
+		// the whole burst is serviced under one batch charge.
+		buf[0] = pkt
+		n := 1
+		for n < len(buf) {
+			more, ok := q.inbox.TryRecv()
+			if !ok {
+				break
+			}
+			buf[n] = more
+			n++
+		}
+		start := p.Now()
+		// Reap pending acks to free rx slots.
+		for {
+			if _, ok := q.rx.TryPopResponse(); !ok {
+				break
+			}
+		}
+		b.H.Compute(p, b.Dom, perBatchCPU+sim.Duration(n)*perDescCPU)
+		before := q.rx.Stats()
+		pushed := 0
+		for pushed < n {
+			k := q.rx.TryPushRequestBatch(buf[pushed:n])
+			pushed += k
+			if pushed == n {
+				break
+			}
+			if k == 0 {
+				// Ring full: the free slots are held by unconsumed
+				// acks, so block on the next ack rather than raw
+				// space.
+				if _, err := q.rx.PopResponse(p); err != nil {
+					// Ring broken mid-batch (restart): the in-hand
+					// descriptor is the counted drop; the rest of
+					// the burst is accounted like inbox residue
+					// drained by Restart.
+					b.DroppedPackets++
 					return
 				}
-				q.tx.PushResponseBatch(acks[:n])
-				b.ForwardedTx += int64(n)
-				b.batchTx.Observe(float64(n))
-				cur := q.tx.Stats()
-				b.notifySentTx.Add(cur.NotifiesToBack - prev.NotifiesToBack)
-				b.notifySupTx.Add(cur.SuppressedToBack - prev.SuppressedToBack)
-				prev = cur
-				b.rttTx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
-				if b.TxSink != nil {
-					for i := 0; i < n; i++ {
-						b.TxSink(v.guest, buf[i])
-					}
-				}
 			}
-		})
+		}
+		after := q.rx.Stats()
+		b.notifySentRx.Add(after.NotifiesToBack - before.NotifiesToBack)
+		b.notifySupRx.Add(after.SuppressedToBack - before.SuppressedToBack)
+		b.batchRx.Observe(float64(n))
+		v.rxSig.Broadcast()
+		b.ForwardedRx += int64(n)
+		b.rttRx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
+		// The ring's notify hook models the event-channel signal; the
+		// hypercall itself is charged above.
+	}
+}
+
+// runTxPump drains the guest-facing tx ring onto the wire, a batch per
+// wakeup. This is the NetBack transmit data path: steady state must not
+// allocate.
+//
+//xoarlint:hot
+func (b *Backend) runTxPump(v *vif, q *vifQueue, p *sim.Proc, buf []Packet, acks []ack) {
+	var prev ring.Stats
+	for {
+		n, err := q.tx.PopRequestBatch(p, buf)
+		if err != nil {
+			return // broken
+		}
+		start := p.Now()
+		b.H.Compute(p, b.Dom, perBatchCPU+sim.Duration(n)*perDescCPU)
+		for i := 0; i < n; i++ {
+			b.NIC.Transmit(p, buf[i].Bytes)
+		}
+		if q.tx.Broken() {
+			return
+		}
+		q.tx.PushResponseBatch(acks[:n])
+		b.ForwardedTx += int64(n)
+		b.batchTx.Observe(float64(n))
+		cur := q.tx.Stats()
+		b.notifySentTx.Add(cur.NotifiesToBack - prev.NotifiesToBack)
+		b.notifySupTx.Add(cur.SuppressedToBack - prev.SuppressedToBack)
+		prev = cur
+		b.rttTx.Observe(float64(p.Now().Sub(start)) / float64(sim.Microsecond))
+		if b.TxSink != nil {
+			for i := 0; i < n; i++ {
+				b.TxSink(v.guest, buf[i])
+			}
+		}
 	}
 }
 
@@ -507,6 +524,8 @@ func (b *Backend) stopPumps(v *vif) {
 // returns false — the packet is dropped — when the backend is mid-microreboot
 // or the guest's vif is not connected; the sender's transport sees this as
 // loss.
+//
+//xoarlint:hot
 func (b *Backend) WireDeliver(p *sim.Proc, guest xtypes.DomID, bytes int, seq int64) bool {
 	b.NIC.Receive(p, bytes)
 	if b.serving.Closed() {

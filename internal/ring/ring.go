@@ -224,6 +224,8 @@ func (r *Ring[Req, Resp]) TryPushRequest(req Req) bool {
 // TryPushRequestBatch pushes as many of reqs as fit, returning the count.
 // The whole batch makes at most one notify decision — the batching win the
 // split drivers rely on.
+//
+//xoarlint:hot bench=BenchmarkMicro_RingBatchPop
 func (r *Ring[Req, Resp]) TryPushRequestBatch(reqs []Req) int {
 	if r.broken || len(reqs) == 0 {
 		return 0
@@ -244,6 +246,8 @@ func (r *Ring[Req, Resp]) TryPushRequestBatch(reqs []Req) int {
 
 // PushRequestBatch pushes every request in reqs, blocking p while the ring
 // is full. Each contiguous burst that fits makes one notify decision.
+//
+//xoarlint:hot
 func (r *Ring[Req, Resp]) PushRequestBatch(p *sim.Proc, reqs []Req) error {
 	pushed := 0
 	for pushed < len(reqs) {
@@ -300,6 +304,8 @@ func (r *Ring[Req, Resp]) TryPopRequest() (Req, bool) {
 
 // TryPopRequestBatch pops up to len(buf) queued requests into buf and
 // returns the count, without blocking or arming req_event.
+//
+//xoarlint:hot bench=BenchmarkMicro_RingBatchPop
 func (r *Ring[Req, Resp]) TryPopRequestBatch(buf []Req) int {
 	if r.broken {
 		return 0
@@ -316,6 +322,8 @@ func (r *Ring[Req, Resp]) TryPopRequestBatch(buf []Req) int {
 
 // PopRequestBatch blocks p until at least one request is queued, then drains
 // up to len(buf) of them into buf — one wakeup servicing a whole batch.
+//
+//xoarlint:hot
 func (r *Ring[Req, Resp]) PopRequestBatch(p *sim.Proc, buf []Req) (int, error) {
 	if len(buf) == 0 {
 		return 0, fmt.Errorf("ring: pop-request-batch with empty buffer: %w", xtypes.ErrInvalid)
@@ -338,6 +346,8 @@ func (r *Ring[Req, Resp]) PopRequestBatch(p *sim.Proc, buf []Req) (int, error) {
 // PushResponse places a response on the ring. The slot stays occupied until
 // the frontend consumes the response. Responses never block: the slot was
 // reserved by the corresponding request.
+//
+//xoarlint:hot
 func (r *Ring[Req, Resp]) PushResponse(resp Resp) error {
 	if r.broken {
 		return r.errBroken("push-response")
@@ -351,6 +361,8 @@ func (r *Ring[Req, Resp]) PushResponse(resp Resp) error {
 
 // PushResponseBatch places every response in resps on the ring with a single
 // notify decision for the batch.
+//
+//xoarlint:hot bench=BenchmarkMicro_RingBatchPop
 func (r *Ring[Req, Resp]) PushResponseBatch(resps []Resp) error {
 	if r.broken {
 		return r.errBroken("push-response-batch")
@@ -380,6 +392,8 @@ func (r *Ring[Req, Resp]) popOneResponse() Resp {
 // PopResponse removes the next response, blocking p while none are queued,
 // and frees the slot. Before sleeping it arms rsp_event so the backend's
 // next completion push is notified.
+//
+//xoarlint:hot
 func (r *Ring[Req, Resp]) PopResponse(p *sim.Proc) (Resp, error) {
 	var zero Resp
 	for {
@@ -402,6 +416,8 @@ func (r *Ring[Req, Resp]) PopResponse(p *sim.Proc) (Resp, error) {
 // TryPopResponse removes the next response without blocking. Like
 // TryPopRequest it refuses on a broken ring — a frontend must not keep
 // consuming (and freeing slots on) a ring that is mid-microreboot.
+//
+//xoarlint:hot
 func (r *Ring[Req, Resp]) TryPopResponse() (Resp, bool) {
 	var zero Resp
 	if r.broken || r.respProd == r.respCons {
@@ -414,6 +430,8 @@ func (r *Ring[Req, Resp]) TryPopResponse() (Resp, bool) {
 
 // TryPopResponseBatch pops up to len(buf) queued responses into buf and
 // returns the count, without blocking or arming rsp_event.
+//
+//xoarlint:hot bench=BenchmarkMicro_RingBatchPop
 func (r *Ring[Req, Resp]) TryPopResponseBatch(buf []Resp) int {
 	if r.broken {
 		return 0
@@ -431,6 +449,8 @@ func (r *Ring[Req, Resp]) TryPopResponseBatch(buf []Resp) int {
 
 // PopResponseBatch blocks p until at least one response is queued, then
 // drains up to len(buf) of them into buf.
+//
+//xoarlint:hot
 func (r *Ring[Req, Resp]) PopResponseBatch(p *sim.Proc, buf []Resp) (int, error) {
 	if len(buf) == 0 {
 		return 0, fmt.Errorf("ring: pop-response-batch with empty buffer: %w", xtypes.ErrInvalid)

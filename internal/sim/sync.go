@@ -13,16 +13,23 @@ func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
 // Wait blocks p until the next Broadcast.
 func (s *Signal) Wait(p *Proc) {
+	// The waiter list retains its capacity across Broadcast, so in steady
+	// state (bounded concurrent waiters) this append never grows the slice.
+	//xoarlint:allow(hotpath) waiter list growth is bounded by concurrent waiters; steady state reuses capacity retained by Broadcast
 	s.waiters = append(s.waiters, p)
 	p.block()
 }
 
 // Broadcast wakes every process currently waiting. The wakeups are scheduled
-// at the current instant in FIFO order.
+// at the current instant in FIFO order. The waiter slice's capacity is
+// retained (entries are nilled for GC) so the Wait/Broadcast cycle is
+// allocation-free in steady state. No user code runs during the loop — the
+// scheduler only enqueues wakeups — so truncating before iterating is safe.
 func (s *Signal) Broadcast() {
 	ws := s.waiters
-	s.waiters = nil
-	for _, w := range ws {
+	s.waiters = s.waiters[:0]
+	for i, w := range ws {
+		ws[i] = nil
 		if !w.done {
 			s.env.schedule(s.env.now, w, nil)
 		}
@@ -31,9 +38,16 @@ func (s *Signal) Broadcast() {
 
 // Chan is an unbounded FIFO queue carrying values between sim processes.
 // Receives block while the queue is empty; sends never block.
+//
+// Dequeues advance a head index instead of re-slicing items[1:], which would
+// permanently strand the popped element's capacity; whenever the queue
+// drains, the backing array is reset and reused, so a steady-state
+// send/receive cycle (the netback rx inbox, xenstore watch events) performs
+// no allocation.
 type Chan[T any] struct {
 	env    *Env
 	items  []T
+	head   int
 	sig    *Signal
 	closed bool
 }
@@ -49,8 +63,25 @@ func (c *Chan[T]) Send(v T) {
 	if c.closed {
 		panic("sim: send on closed Chan")
 	}
+	//xoarlint:allow(hotpath) queue growth is bounded by backlog; pop resets the backing array on drain so steady state reuses capacity
 	c.items = append(c.items, v)
 	c.sig.Broadcast()
+}
+
+// pop removes and returns the head element. Callers must ensure the queue is
+// non-empty. The vacated slot is zeroed so queued pointers do not outlive
+// their dequeue, and a drained queue resets to the start of its backing
+// array so future sends reuse the capacity.
+func (c *Chan[T]) pop() T {
+	v := c.items[c.head]
+	var zero T
+	c.items[c.head] = zero
+	c.head++
+	if c.head == len(c.items) {
+		c.items = c.items[:0]
+		c.head = 0
+	}
+	return v
 }
 
 // Close marks the channel closed; blocked and future receivers observe
@@ -66,28 +97,24 @@ func (c *Chan[T]) Close() {
 // Recv dequeues the next value, blocking p while the queue is empty. It
 // returns ok == false when the channel is closed and drained.
 func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
-	for len(c.items) == 0 {
+	for c.Len() == 0 {
 		if c.closed {
 			var zero T
 			return zero, false
 		}
 		c.sig.Wait(p)
 	}
-	v = c.items[0]
-	c.items = c.items[1:]
-	return v, true
+	return c.pop(), true
 }
 
 // TryRecv dequeues the next value without blocking. ok is false when the
 // queue is empty.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.items) == 0 {
+	if c.Len() == 0 {
 		var zero T
 		return zero, false
 	}
-	v = c.items[0]
-	c.items = c.items[1:]
-	return v, true
+	return c.pop(), true
 }
 
 // RecvTimeout dequeues the next value, giving up after d. ok is false on
@@ -100,7 +127,7 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool) {
 		c.sig.Broadcast() // wake the waiter so it re-checks
 	})
 	defer cancel()
-	for len(c.items) == 0 {
+	for c.Len() == 0 {
 		if c.closed {
 			var zero T
 			return zero, false
@@ -111,13 +138,11 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool) {
 		}
 		c.sig.Wait(p)
 	}
-	v = c.items[0]
-	c.items = c.items[1:]
-	return v, true
+	return c.pop(), true
 }
 
 // Len reports the number of queued values.
-func (c *Chan[T]) Len() int { return len(c.items) }
+func (c *Chan[T]) Len() int { return len(c.items) - c.head }
 
 // Resource models a server with fixed capacity (a CPU, a disk arm, a bus).
 // Acquire blocks while all slots are busy; requests are served FIFO, which

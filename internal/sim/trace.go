@@ -27,6 +27,7 @@ func (e *Env) SetTrace(fn func(TraceEvent)) { e.trace = fn }
 // emitTrace reports a scheduler action to the hook, if installed.
 func (e *Env) emitTrace(kind, proc string) {
 	if e.trace != nil {
+		//xoarlint:allow(hotpath) trace sinks are diagnostic instrumentation, never installed in production runs
 		e.trace(TraceEvent{At: e.now, Kind: kind, Proc: proc})
 	}
 }

@@ -120,8 +120,13 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `xoarlint -list`.
 	Doc string
-	// Run inspects one package unit and returns its findings.
+	// Run inspects one package unit and returns its findings. Nil for
+	// module-level passes.
 	Run func(*Package) []Diagnostic
+	// RunModule, when set, is invoked once with every loaded package so the
+	// pass can resolve cross-package calls (hotpath walks the whole call
+	// graph from its annotated roots). Suppressions apply the same way.
+	RunModule func([]*Package) []Diagnostic
 }
 
 var registry []*Analyzer
@@ -209,8 +214,18 @@ func suppressionsOf(pkgs []*Package) (map[string]suppression, []Diagnostic) {
 func RunAll(pkgs []*Package) []Diagnostic {
 	sups, diags := suppressionsOf(pkgs)
 	for _, a := range registry {
-		for _, p := range pkgs {
-			for _, d := range a.Run(p) {
+		if a.Run != nil {
+			for _, p := range pkgs {
+				for _, d := range a.Run(p) {
+					if suppressed(sups, d) {
+						continue
+					}
+					diags = append(diags, d)
+				}
+			}
+		}
+		if a.RunModule != nil {
+			for _, d := range a.RunModule(pkgs) {
 				if suppressed(sups, d) {
 					continue
 				}

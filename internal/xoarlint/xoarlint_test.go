@@ -314,6 +314,7 @@ func TestRegisteredAnalyzers(t *testing.T) {
 	want := map[string]bool{
 		"privcheck": true, "simtime": true, "layering": true, "errwrap": true,
 		"gohygiene": true, "privflow": true, "auditlog": true, "metricnames": true,
+		"hotpath": true,
 	}
 	for _, a := range Analyzers() {
 		delete(want, a.Name)

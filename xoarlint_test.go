@@ -102,11 +102,47 @@ func TestCapManifestDrift(t *testing.T) {
 		strings.Join(diff, "\n  "))
 }
 
-// TestArtifactDeterminism generates both golden artifacts twice from
+// TestHotPathDrift pins HOTPATH.json — the generated hot-path allocation
+// artifact: every //xoarlint:hot root with its declared allocs/op budget
+// and the functions reachable from it — to the source. Severing an
+// annotation, adding a call into a hot loop, or changing a budget must
+// regenerate the artifact, so the data-path delta lands in the diff where
+// reviewers can see it (and bench-diff re-checks the budgets against
+// measured -benchmem numbers).
+func TestHotPathDrift(t *testing.T) {
+	checked, err := os.ReadFile("HOTPATH.json")
+	if err != nil {
+		t.Fatalf("reading checked-in hot-path artifact: %v (regenerate with: make hotpath)", err)
+	}
+	pkgs, err := xoarlint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	built := xoarlint.BuildHotPath(pkgs)
+	if len(built.Roots) == 0 {
+		t.Fatal("no //xoarlint:hot roots found — the data-path annotations were severed")
+	}
+	enc := built.EncodeJSON()
+	if bytes.Equal(checked, enc) {
+		return
+	}
+	old, err := xoarlint.DecodeHotPath(checked)
+	if err != nil {
+		t.Fatalf("HOTPATH.json does not parse: %v (regenerate with: make hotpath)", err)
+	}
+	diff := xoarlint.DiffHotPath(old, built)
+	if len(diff) == 0 {
+		diff = []string{"(formatting only)"}
+	}
+	t.Errorf("HOTPATH.json is stale — the hot-path surface changed:\n  %s\nregenerate with: make hotpath",
+		strings.Join(diff, "\n  "))
+}
+
+// TestArtifactDeterminism generates the golden artifacts twice from
 // independent module loads and requires byte identity, so the drift gates
 // above can never flake on map iteration order.
 func TestArtifactDeterminism(t *testing.T) {
-	gen := func() ([]byte, []byte) {
+	gen := func() ([]byte, []byte, []byte) {
 		pkgs, err := xoarlint.LoadModule(".")
 		if err != nil {
 			t.Fatalf("loading module: %v", err)
@@ -127,14 +163,18 @@ func TestArtifactDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return mb, cb
+		hb := xoarlint.BuildHotPath(pkgs).EncodeJSON()
+		return mb, cb, hb
 	}
-	m1, c1 := gen()
-	m2, c2 := gen()
+	m1, c1, h1 := gen()
+	m2, c2, h2 := gen()
 	if !bytes.Equal(m1, m2) {
 		t.Error("two -matrix generations differ byte-wise")
 	}
 	if !bytes.Equal(c1, c2) {
 		t.Error("two -capmanifest generations differ byte-wise")
+	}
+	if !bytes.Equal(h1, h2) {
+		t.Error("two -hotpath generations differ byte-wise")
 	}
 }
